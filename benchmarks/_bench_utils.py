@@ -1,0 +1,33 @@
+"""Utility helpers shared by the benchmark modules (kept out of conftest so
+they can be imported explicitly as ``from _bench_utils import ...``)."""
+
+from __future__ import annotations
+
+import os
+
+
+def bench_scale() -> float:
+    """Return the global benchmark scale factor from ``REPRO_BENCH_SCALE``."""
+    raw = os.environ.get("REPRO_BENCH_SCALE", "1.0")
+    try:
+        scale = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"REPRO_BENCH_SCALE must be a float, got {raw!r}") from exc
+    if not 0.0 < scale <= 1.0:
+        raise ValueError(f"REPRO_BENCH_SCALE must be in (0, 1], got {scale}")
+    return scale
+
+
+def scaled(value: int, minimum: int, scale: float | None = None) -> int:
+    """Scale an integer parameter, never dropping below ``minimum``."""
+    if scale is None:
+        scale = bench_scale()
+    return max(minimum, int(round(value * scale)))
+
+
+def print_banner(title: str) -> None:
+    """Print a section banner so the bench output reads like the paper's figures."""
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

@@ -1,0 +1,75 @@
+"""Ablation — sensitivity of the reliability to the membership-view size.
+
+Section 3 of the paper assumes a scalable membership protocol and lets every
+member pick targets "from its membership view"; the analysis implicitly
+assumes that view is the whole group.  This bench quantifies how much the
+reliability degrades when members only know a bounded, SCAMP-like partial
+view, sweeping the view size from 2 to the full group at the paper's
+favourite configuration (Poisson fanout 4, q = 0.9).
+
+Expected shape: reliability is essentially flat down to view sizes of a few
+times the fanout (partial views cost almost nothing, which is why partial-view
+protocols work), and only collapses when the view size approaches the fanout
+itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _bench_utils import bench_scale, print_banner, scaled
+
+from repro.core.distributions import PoissonFanout
+from repro.core.poisson_case import poisson_reliability
+from repro.simulation.membership import UniformPartialView
+from repro.simulation.runner import estimate_reliability
+from repro.utils.tables import format_table
+
+
+def run_membership_ablation(n: int, repetitions: int, view_sizes, seed: int = 20080149):
+    """Return (view_size, simulated reliability, spread rate) rows."""
+    rows = []
+    dist = PoissonFanout(4.0)
+    for idx, view_size in enumerate(view_sizes):
+        if view_size >= n - 1:
+            membership = None  # full view
+        else:
+            membership = UniformPartialView(n, int(view_size), seed=seed + idx)
+        estimate = estimate_reliability(
+            n,
+            dist,
+            0.9,
+            repetitions=repetitions,
+            seed=seed + 1000 + idx,
+            membership=membership,
+            conditional_on_spread=True,
+        )
+        rows.append((int(view_size), estimate.mean_reliability, estimate.spread_rate))
+    return rows
+
+
+def test_ablation_membership_view_size(benchmark):
+    scale = bench_scale()
+    n = scaled(2000, 300, scale)
+    repetitions = scaled(10, 4, scale)
+    view_sizes = [3, 5, 8, 15, 30, 60, 120, n - 1]
+
+    rows = benchmark.pedantic(
+        run_membership_ablation, args=(n, repetitions, view_sizes), rounds=1, iterations=1
+    )
+
+    print_banner(
+        f"Ablation — membership view size (Poisson fanout 4, q=0.9, n={n}, "
+        f"{repetitions} runs per point)"
+    )
+    print(format_table(["view_size", "simulated_reliability", "spread_rate"], rows))
+    print(f"analytical full-view reliability: {poisson_reliability(4.0, 0.9):.4f}")
+
+    reliabilities = np.array([r[1] for r in rows])
+    # The full view matches the analytical value.
+    assert reliabilities[-1] == np.max(reliabilities) or reliabilities[-1] > 0.9
+    assert abs(reliabilities[-1] - poisson_reliability(4.0, 0.9)) < 0.05
+    # Moderate partial views (a few times the fanout) lose little reliability.
+    moderate = [r for size, r, _ in rows if 15 <= size <= 120]
+    assert min(moderate) > 0.85
+    # Reliability is (noise-tolerantly) non-decreasing in the view size.
+    assert np.all(np.diff(reliabilities) > -0.12)

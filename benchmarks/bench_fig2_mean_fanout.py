@@ -1,0 +1,32 @@
+"""Reproduce Fig. 2 — mean fanout vs. reliability of gossiping (Eq. 12).
+
+Prints the (S, z) series for q ∈ {0.2, 0.4, 0.6, 0.8, 1.0} and checks the
+paper's qualitative claims: curves increase with the target reliability,
+lower nonfailed ratios require larger fanouts, and Eq. 12 round-trips through
+Eq. 11.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import print_banner
+
+from repro.experiments.fig2_mean_fanout import Fig2Config, run_fig2
+
+
+def test_fig2_mean_fanout_vs_reliability(benchmark):
+    config = Fig2Config()
+    result = benchmark.pedantic(run_fig2, args=(config,), rounds=1, iterations=1)
+
+    print_banner("Fig. 2 — Mean fanout vs. reliability of gossiping (Eq. 12)")
+    print(result.to_table())
+
+    problems = result.check_shape()
+    assert problems == [], f"Fig. 2 shape violations: {problems}"
+
+    # Anchor values the paper's figure shows: at S ~= 0.9999 the q = 0.2 curve
+    # is near the top of the 0-50 axis while q = 1.0 stays below 10.
+    assert result.fanouts_by_q[0.2][-1] > 40.0
+    assert result.fanouts_by_q[1.0][-1] < 10.0
+    # At the left edge (S ~= 0.11) every curve needs only a small fanout.
+    for q in config.qs:
+        assert result.fanouts_by_q[q][0] < 10.0

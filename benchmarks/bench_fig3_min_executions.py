@@ -1,0 +1,31 @@
+"""Reproduce Fig. 3 — minimum executions for a 0.999 success requirement (Eq. 6).
+
+Prints the (reliability, minimum executions) series and checks the paper's
+shape: the curve is non-increasing and reaches ~3 executions once the
+per-execution reliability exceeds 0.9 (the paper's worked example with
+p_r = 0.967 needs t = 3).
+"""
+
+from __future__ import annotations
+
+from _bench_utils import print_banner
+
+from repro.core.success import min_executions
+from repro.experiments.fig3_min_executions import Fig3Config, run_fig3
+
+
+def test_fig3_minimum_executions(benchmark):
+    config = Fig3Config()
+    result = benchmark.pedantic(run_fig3, args=(config,), rounds=1, iterations=1)
+
+    print_banner("Fig. 3 — Minimum executions for success requirement 0.999 (Eq. 6)")
+    print(result.to_table())
+
+    problems = result.check_shape()
+    assert problems == [], f"Fig. 3 shape violations: {problems}"
+
+    # The paper's worked example: p_r = 0.967 requires t = 3.
+    assert min_executions(0.999, 0.967) == 3
+    # Low-reliability regime needs an order of magnitude more executions.
+    assert result.min_executions[0] >= 15
+    assert result.min_executions[-1] <= 2

@@ -1,0 +1,47 @@
+"""Reproduce Figs. 4a/4b — reliability of gossiping in a 1000-member group.
+
+Runs the paper's simulation protocol (Poisson fanout swept from 1.1 to 6.7,
+q ∈ {0.1, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0}, 20 executions per point), prints the
+simulated vs. analytical reliability for every point, and checks the figure's
+qualitative claims: the percolation threshold at f·q = 1, monotonicity, and
+simulation/analysis agreement.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_scale, print_banner, scaled
+
+from repro.experiments.fig4_reliability_1000 import Fig4Config, run_fig4
+
+
+def test_fig4_reliability_1000_nodes(benchmark):
+    scale = bench_scale()
+    config = Fig4Config().scaled(
+        n=scaled(1000, 100, scale), repetitions=scaled(20, 4, scale)
+    )
+    result = benchmark.pedantic(run_fig4, args=(config,), rounds=1, iterations=1)
+
+    print_banner(
+        f"Figs. 4a/4b — Reliability vs mean fanout, n={config.n}, "
+        f"{config.repetitions} runs per point"
+    )
+    print(result.to_table())
+    print()
+    print("Per-q analysis-vs-simulation agreement:")
+    print(result.comparison_table())
+
+    if scale >= 0.99:
+        problems = result.check_shape(tolerance=0.12)
+        assert problems == [], f"Fig. 4 shape violations: {problems}"
+        # Panel-level anchors from the paper: with q = 0.1 even a fanout of
+        # 6.7 is below the critical point (f·q < 1), so reliability stays ~0.
+        q_low = result.series(0.1)[1]
+        assert q_low.max() < 0.25
+    else:
+        # Scaled smoke runs keep only the coarse agreement checks — the
+        # strict threshold/monotonicity checks need the paper-size group.
+        for q, comparison in result.comparisons.items():
+            if q >= 0.4:
+                assert comparison.mean_absolute_error < 0.25, f"q={q}"
+    q_full = result.series(1.0)[1]
+    assert q_full.max() > 0.9

@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the library's hot paths.
+
+These are conventional pytest-benchmark timings (many rounds, statistical
+reporting) rather than figure reproductions: the percolation fixed-point
+solver, a single gossip execution at n = 1000 and n = 5000, the configuration
+model builder, and the reachability kernel.  They exist so performance
+regressions in the simulator show up in CI next to the reproduction harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import PoissonFanout
+from repro.core.percolation import giant_component_size
+from repro.core.poisson_case import poisson_reliability
+from repro.graphs.components import reachable_from
+from repro.graphs.configuration_model import configuration_model_edges
+from repro.simulation.gossip import simulate_gossip_once
+
+
+def test_percolation_solver_poisson_closed_form(benchmark):
+    result = benchmark(poisson_reliability, 4.0, 0.9)
+    assert result == pytest.approx(0.9695, abs=1e-3)
+
+
+def test_percolation_solver_generic(benchmark):
+    dist = PoissonFanout(4.0)
+    result = benchmark(giant_component_size, dist, 0.9)
+    assert result == pytest.approx(0.9695, abs=1e-3)
+
+
+def test_single_execution_n1000(benchmark):
+    dist = PoissonFanout(4.0)
+    execution = benchmark(simulate_gossip_once, 1000, dist, 0.9, seed=1)
+    assert 0.0 <= execution.reliability() <= 1.0
+
+
+def test_single_execution_n5000(benchmark):
+    dist = PoissonFanout(4.0)
+    execution = benchmark(simulate_gossip_once, 5000, dist, 0.9, seed=2)
+    assert 0.0 <= execution.reliability() <= 1.0
+
+
+def test_configuration_model_build(benchmark):
+    degrees = PoissonFanout(4.0).sample(5000, seed=3)
+    edges = benchmark(configuration_model_edges, degrees, seed=4)
+    assert edges.shape[1] == 2
+
+
+def test_reachability_kernel(benchmark):
+    rng = np.random.default_rng(5)
+    n = 5000
+    edges = rng.integers(0, n, size=(4 * n, 2))
+    reached = benchmark(reachable_from, n, edges, 0)
+    assert reached[0]

@@ -1,0 +1,86 @@
+"""repro — fault-tolerance modeling of gossip-based reliable multicast.
+
+Reproduction of Fan, Cao, Wu, Raynal, "On Modeling Fault Tolerance of
+Gossip-Based Reliable Multicast Protocols", ICPP 2008.
+
+The package is organised as:
+
+* :mod:`repro.core` — the analytical model (fanout distributions, generating
+  functions, percolation, reliability and success of gossiping).
+* :mod:`repro.graphs` — generalized random-graph substrate (configuration
+  model, components, gossip-induced graphs).
+* :mod:`repro.simulation` — Monte-Carlo and event-driven simulators of the
+  general gossip algorithm with fail-stop failures.
+* :mod:`repro.protocols` — baseline reliable-multicast protocols used for
+  comparison (fixed fanout, pbcast-style, lpbcast-style, RDG-style, flooding).
+* :mod:`repro.analysis` — sweeps, analysis-vs-simulation comparison, and
+  goodness-of-fit utilities.
+* :mod:`repro.experiments` — one driver per figure of the paper's evaluation.
+"""
+
+from repro.core import (
+    BinomialFanout,
+    EmpiricalFanout,
+    FanoutDistribution,
+    FixedFanout,
+    GeneratingFunction,
+    GeometricFanout,
+    GossipModel,
+    MixtureFanout,
+    PercolationResult,
+    PoissonFanout,
+    ReliabilityModel,
+    SuccessModel,
+    UniformFanout,
+    ZipfFanout,
+    critical_mean_fanout,
+    critical_ratio,
+    giant_component_size,
+    mean_component_size,
+    mean_fanout_for_reliability,
+    min_executions,
+    percolation_analysis,
+    poisson_critical_fanout,
+    poisson_critical_ratio,
+    poisson_reliability,
+    reliability,
+    reliability_curve,
+    required_fanout_poisson,
+    success_count_pmf,
+    success_probability,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "FanoutDistribution",
+    "PoissonFanout",
+    "FixedFanout",
+    "BinomialFanout",
+    "GeometricFanout",
+    "UniformFanout",
+    "ZipfFanout",
+    "EmpiricalFanout",
+    "MixtureFanout",
+    "GeneratingFunction",
+    "PercolationResult",
+    "critical_ratio",
+    "critical_mean_fanout",
+    "giant_component_size",
+    "mean_component_size",
+    "percolation_analysis",
+    "ReliabilityModel",
+    "reliability",
+    "reliability_curve",
+    "required_fanout_poisson",
+    "success_probability",
+    "min_executions",
+    "success_count_pmf",
+    "SuccessModel",
+    "poisson_reliability",
+    "poisson_critical_ratio",
+    "poisson_critical_fanout",
+    "mean_fanout_for_reliability",
+    "GossipModel",
+]

@@ -1,0 +1,20 @@
+"""Experiment-support analysis: sweeps, comparisons, and goodness of fit."""
+
+from repro.analysis.compare import SeriesComparison, compare_series, compare_sweep
+from repro.analysis.sweep import DistributionSweep, distribution_ablation
+from repro.analysis.binomial_fit import BinomialFit, fit_binomial, chi_square_binomial_test
+from repro.analysis.tables import sweep_to_table, comparison_to_table, pmf_to_table
+
+__all__ = [
+    "SeriesComparison",
+    "compare_series",
+    "compare_sweep",
+    "DistributionSweep",
+    "distribution_ablation",
+    "BinomialFit",
+    "fit_binomial",
+    "chi_square_binomial_test",
+    "sweep_to_table",
+    "comparison_to_table",
+    "pmf_to_table",
+]

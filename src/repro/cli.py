@@ -1,0 +1,208 @@
+"""Command-line interface for the gossip fault-tolerance toolkit.
+
+Four sub-commands cover the workflows the library supports:
+
+* ``repro analyze``    — analytical model of one ``Gossip(n, P, q)`` configuration
+  (reliability, critical point, success of gossiping, Eq. 12 inverse).
+* ``repro simulate``   — Monte-Carlo estimate of the same configuration.
+* ``repro design``     — dimension a deployment: given a reliability target and
+  a failure budget, compute the required mean fanout and repeat count.
+* ``repro experiment`` — regenerate one of the paper's figures (fig2 … fig7).
+
+The CLI is intentionally a thin shell over the public API; every number it
+prints can be obtained programmatically from :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.distributions import (
+    FanoutDistribution,
+    FixedFanout,
+    GeometricFanout,
+    PoissonFanout,
+    UniformFanout,
+)
+from repro.core.model import GossipModel
+from repro.core.poisson_case import mean_fanout_for_reliability
+from repro.core.success import min_executions
+from repro.experiments.registry import get_experiment, list_experiments
+
+__all__ = ["main", "build_parser"]
+
+
+def _make_distribution(name: str, mean_fanout: float) -> FanoutDistribution:
+    """Build a fanout distribution of the requested family at the given mean."""
+    name = name.lower()
+    if name == "poisson":
+        return PoissonFanout(mean_fanout)
+    if name == "fixed":
+        return FixedFanout(max(0, int(round(mean_fanout))))
+    if name == "geometric":
+        return GeometricFanout.from_mean(mean_fanout)
+    if name == "uniform":
+        centre = max(1, int(round(mean_fanout)))
+        return UniformFanout(max(0, centre - 2), centre + 2)
+    raise ValueError(f"unknown fanout family {name!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fault-tolerance analysis of gossip-based reliable multicast (Fan et al., ICPP 2008).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_model_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--members", "-n", type=int, default=1000, help="group size n")
+        p.add_argument("--fanout", "-f", type=float, default=4.0, help="mean fanout")
+        p.add_argument(
+            "--family",
+            choices=["poisson", "fixed", "geometric", "uniform"],
+            default="poisson",
+            help="fanout distribution family",
+        )
+        p.add_argument("--alive-ratio", "-q", type=float, default=0.9, help="nonfailed member ratio q")
+
+    analyze = sub.add_parser("analyze", help="analytical model of one configuration")
+    add_model_arguments(analyze)
+    analyze.add_argument(
+        "--success-target", type=float, default=0.999, help="required success probability (Eq. 6)"
+    )
+
+    simulate = sub.add_parser("simulate", help="Monte-Carlo estimate of one configuration")
+    add_model_arguments(simulate)
+    simulate.add_argument("--repetitions", type=int, default=20, help="independent executions")
+    simulate.add_argument("--seed", type=int, default=None, help="RNG seed")
+    simulate.add_argument(
+        "--conditional",
+        action="store_true",
+        help="average only over executions whose dissemination took off",
+    )
+
+    design = sub.add_parser("design", help="dimension fanout and repeats for a target")
+    design.add_argument("--members", "-n", type=int, default=1000, help="group size n")
+    design.add_argument(
+        "--reliability", type=float, default=0.99, help="per-execution reliability target"
+    )
+    design.add_argument(
+        "--max-failed", type=float, default=0.2, help="worst-case failed fraction to tolerate"
+    )
+    design.add_argument(
+        "--success-target", type=float, default=0.999, help="per-member delivery target after repeats"
+    )
+
+    experiment = sub.add_parser("experiment", help="regenerate one of the paper's figures")
+    experiment.add_argument(
+        "figure",
+        choices=[spec.experiment_id for spec in list_experiments()],
+        help="figure id (fig2 .. fig7)",
+    )
+    experiment.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="shrink group size / repetitions for a quick run (default: paper scale)",
+    )
+
+    return parser
+
+
+def _cmd_analyze(args) -> int:
+    dist = _make_distribution(args.family, args.fanout)
+    model = GossipModel(n=args.members, distribution=dist, q=args.alive_ratio)
+    reliability = model.reliability()
+    print(f"configuration            : Gossip(n={args.members}, {args.family}({args.fanout}), q={args.alive_ratio})")
+    print(f"critical nonfailed ratio : {model.critical_ratio():.4f}")
+    print(f"supercritical            : {model.is_supercritical()}")
+    print(f"reliability R(q, P)      : {reliability:.4f}")
+    if reliability > 0:
+        print(f"executions for {args.success_target}: {model.min_executions(args.success_target)}")
+    else:
+        print("executions for target    : unreachable (reliability is 0 below the critical point)")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    dist = _make_distribution(args.family, args.fanout)
+    model = GossipModel(n=args.members, distribution=dist, q=args.alive_ratio)
+    from repro.simulation.runner import estimate_reliability
+
+    estimate = estimate_reliability(
+        args.members,
+        dist,
+        args.alive_ratio,
+        repetitions=args.repetitions,
+        seed=args.seed,
+        conditional_on_spread=args.conditional,
+    )
+    print(f"analytical reliability  : {model.reliability():.4f}")
+    print(f"simulated reliability   : {estimate.mean_reliability:.4f}  (std {estimate.std_reliability:.4f})")
+    print(f"take-off rate           : {estimate.spread_rate:.2f}")
+    print(f"mean gossip hops        : {estimate.mean_rounds:.1f}")
+    print(f"mean messages           : {estimate.mean_messages:.0f}")
+    return 0
+
+
+def _cmd_design(args) -> int:
+    q = 1.0 - args.max_failed
+    fanout = mean_fanout_for_reliability(args.reliability, q)
+    repeats = min_executions(args.success_target, args.reliability)
+    model = GossipModel(n=args.members, distribution=PoissonFanout(fanout), q=q)
+    print(f"failure budget           : {args.max_failed:.0%} failed (q = {q})")
+    print(f"required mean fanout (Eq. 12) : {fanout:.2f}")
+    print(f"required executions (Eq. 6)   : {repeats}")
+    print(f"resulting reliability         : {model.reliability():.4f}")
+    print(
+        "max tolerable failed fraction : "
+        f"{model.max_tolerable_failure_ratio(args.reliability):.1%}"
+    )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    spec = get_experiment(args.figure)
+    config = spec.config_factory()
+    if not spec.analytical_only and args.scale < 0.999:
+        if hasattr(config, "repetitions"):
+            config = config.scaled(
+                n=max(100, int(config.n * args.scale)),
+                repetitions=max(4, int(config.repetitions * args.scale)),
+            )
+        else:
+            config = config.scaled(
+                n=max(200, int(config.n * args.scale)),
+                simulations=max(15, int(config.simulations * args.scale)),
+            )
+    print(f"{spec.experiment_id}: {spec.paper_reference}")
+    result = spec.runner(config)
+    print(result.to_table())
+    problems = result.check_shape() if (spec.analytical_only or args.scale >= 0.999) else []
+    if problems:
+        print("\nSHAPE VIOLATIONS:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("\nqualitative shape: OK")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "analyze": _cmd_analyze,
+        "simulate": _cmd_simulate,
+        "design": _cmd_design,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

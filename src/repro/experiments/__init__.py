@@ -1,0 +1,43 @@
+"""Experiment drivers — one module per figure of the paper's evaluation.
+
+Each driver exposes a ``*Config`` dataclass whose defaults match the paper's
+parameters, a ``run(config)`` function returning a structured result, and the
+result object knows how to render itself as the table/series the paper
+reports (``to_table()``) and how to check the qualitative shape the paper
+claims (``check_shape()``).  The benchmark harness in ``benchmarks/`` is a
+thin wrapper around these drivers.
+
+Use :func:`repro.experiments.registry.get_experiment` to look drivers up by
+their experiment id (``"fig2"`` … ``"fig7"``).
+"""
+
+from repro.experiments.fig2_mean_fanout import Fig2Config, Fig2Result, run_fig2
+from repro.experiments.fig3_min_executions import Fig3Config, Fig3Result, run_fig3
+from repro.experiments.fig4_reliability_1000 import Fig4Config, Fig4Result, run_fig4
+from repro.experiments.fig5_reliability_5000 import Fig5Config, Fig5Result, run_fig5
+from repro.experiments.fig6_success_f4_q09 import Fig6Config, Fig6Result, run_fig6
+from repro.experiments.fig7_success_f6_q06 import Fig7Config, Fig7Result, run_fig7
+from repro.experiments.registry import get_experiment, list_experiments
+
+__all__ = [
+    "Fig2Config",
+    "Fig2Result",
+    "run_fig2",
+    "Fig3Config",
+    "Fig3Result",
+    "run_fig3",
+    "Fig4Config",
+    "Fig4Result",
+    "run_fig4",
+    "Fig5Config",
+    "Fig5Result",
+    "run_fig5",
+    "Fig6Config",
+    "Fig6Result",
+    "run_fig6",
+    "Fig7Config",
+    "Fig7Result",
+    "run_fig7",
+    "get_experiment",
+    "list_experiments",
+]

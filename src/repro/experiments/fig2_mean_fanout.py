@@ -1,0 +1,105 @@
+"""Fig. 2 — mean fanout vs. reliability of gossiping under various nonfailed ratios.
+
+The paper evaluates Eq. 12, ``z = −ln(1 − S) / (qS)``, for reliabilities
+``S`` ranging from 0.1111 to 0.9999 and nonfailed ratios ``q`` in
+{0.2, 0.4, 0.6, 0.8, 1.0}.  The curves answer the design question "how large
+must the mean fanout be to reach a target reliability when a fraction
+``1 − q`` of the group has failed?" and rise steeply as ``S → 1`` and as
+``q`` falls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.poisson_case import mean_fanout_for_reliability, poisson_reliability
+from repro.utils.tables import format_table
+
+__all__ = ["Fig2Config", "Fig2Result", "run_fig2"]
+
+EXPERIMENT_ID = "fig2"
+PAPER_REFERENCE = "Fig. 2 — Mean fanout vs. Reliability of Gossiping under various nonfailed node ratio"
+
+
+@dataclass(frozen=True)
+class Fig2Config:
+    """Parameters of the Fig. 2 series (defaults match the paper).
+
+    Attributes
+    ----------
+    reliability_min, reliability_max:
+        Range of the reliability axis; the paper states it "ranges from
+        0.1111 to 0.9999".
+    points:
+        Number of reliability samples per curve.
+    qs:
+        The nonfailed-member ratios, one curve each.
+    """
+
+    reliability_min: float = 0.1111
+    reliability_max: float = 0.9999
+    points: int = 60
+    qs: tuple = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """The Fig. 2 series: for every ``q`` a (reliability, mean fanout) curve."""
+
+    config: Fig2Config
+    reliabilities: np.ndarray
+    fanouts_by_q: dict = field(default_factory=dict)
+
+    def to_table(self, *, precision: int = 3) -> str:
+        """Render the curves as one table with a column per ``q``."""
+        headers = ["S"] + [f"z(q={q})" for q in self.config.qs]
+        rows = []
+        for i, s in enumerate(self.reliabilities):
+            rows.append(
+                [float(s)] + [float(self.fanouts_by_q[q][i]) for q in self.config.qs]
+            )
+        return format_table(headers, rows, precision=precision)
+
+    def check_shape(self) -> list[str]:
+        """Return a list of violated qualitative properties (empty = all hold).
+
+        The paper's Fig. 2 shape: every curve is increasing in ``S``, curves
+        for smaller ``q`` lie above curves for larger ``q``, and plugging the
+        computed fanout back into Eq. 11 recovers the target reliability.
+        """
+        problems: list[str] = []
+        for q in self.config.qs:
+            curve = self.fanouts_by_q[q]
+            if not np.all(np.diff(curve) > -1e-9):
+                problems.append(f"fanout curve for q={q} is not non-decreasing in S")
+        for q_small, q_large in zip(self.config.qs, self.config.qs[1:]):
+            if not np.all(
+                np.asarray(self.fanouts_by_q[q_small]) >= np.asarray(self.fanouts_by_q[q_large]) - 1e-9
+            ):
+                problems.append(
+                    f"curve for q={q_small} should dominate curve for q={q_large}"
+                )
+        # Round-trip: Eq. 12 then Eq. 11 must recover S (checked on a few points).
+        for q in self.config.qs:
+            for idx in (0, len(self.reliabilities) // 2, len(self.reliabilities) - 1):
+                s_target = float(self.reliabilities[idx])
+                z = float(self.fanouts_by_q[q][idx])
+                s_back = poisson_reliability(z, q)
+                if abs(s_back - s_target) > 1e-6:
+                    problems.append(
+                        f"round-trip failed at q={q}, S={s_target:.4f}: got {s_back:.4f}"
+                    )
+        return problems
+
+
+def run_fig2(config: Fig2Config | None = None) -> Fig2Result:
+    """Compute the Fig. 2 curves (pure analysis, Eq. 12)."""
+    config = config or Fig2Config()
+    reliabilities = np.linspace(config.reliability_min, config.reliability_max, config.points)
+    fanouts_by_q = {
+        q: np.array([mean_fanout_for_reliability(float(s), q) for s in reliabilities])
+        for q in config.qs
+    }
+    return Fig2Result(config=config, reliabilities=reliabilities, fanouts_by_q=fanouts_by_q)

@@ -1,0 +1,90 @@
+"""Fig. 3 — minimum number of executions for a required success probability.
+
+The paper evaluates Eq. 6 with the success-of-gossiping requirement
+``p_s = 0.999``: for a per-execution reliability ``S`` (the giant-component
+size), the minimum number of executions is ``t = ⌈lg(1 − p_s)/lg(1 − S)⌉``.
+The curve falls steeply: ~19-20 executions suffice at ``S ≈ 0.3`` while 1-3
+executions are enough once ``S ≥ 0.9``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.success import min_executions, success_probability
+from repro.utils.tables import format_table
+from repro.utils.validation import check_probability
+
+__all__ = ["Fig3Config", "Fig3Result", "run_fig3"]
+
+EXPERIMENT_ID = "fig3"
+PAPER_REFERENCE = (
+    "Fig. 3 — Minimum times of executions for the required probability of gossiping success"
+)
+
+
+@dataclass(frozen=True)
+class Fig3Config:
+    """Parameters of the Fig. 3 curve (defaults match the paper).
+
+    The paper plots reliabilities from roughly 0.2 to just above 1.0 with the
+    success requirement fixed at 0.999.
+    """
+
+    required_success: float = 0.999
+    reliability_min: float = 0.2
+    reliability_max: float = 0.995
+    points: int = 60
+
+    def __post_init__(self):
+        check_probability("required_success", self.required_success, allow_one=False)
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """The Fig. 3 series: minimum executions for each per-execution reliability."""
+
+    config: Fig3Config
+    reliabilities: np.ndarray
+    min_executions: np.ndarray
+
+    def to_table(self, *, precision: int = 3) -> str:
+        """Render the (S, t_min) series."""
+        headers = ["reliability_S", "min_executions_t"]
+        rows = list(zip(self.reliabilities.tolist(), self.min_executions.tolist()))
+        return format_table(headers, rows, precision=precision)
+
+    def check_shape(self) -> list[str]:
+        """Check the qualitative Fig. 3 shape.
+
+        The required number of executions must be non-increasing in the
+        reliability, must reach 1-3 once the reliability exceeds 0.9, and
+        every returned ``t`` must actually satisfy Eq. 5 while ``t − 1`` must
+        not.
+        """
+        problems: list[str] = []
+        if not np.all(np.diff(self.min_executions) <= 0):
+            problems.append("minimum executions should be non-increasing in reliability")
+        high = self.min_executions[self.reliabilities >= 0.9]
+        if high.size and high.max() > 3:
+            problems.append("for reliability >= 0.9 the paper expects at most ~3 executions")
+        for s, t in zip(self.reliabilities, self.min_executions):
+            t = int(t)
+            if success_probability(float(s), t) < self.config.required_success - 1e-12:
+                problems.append(f"t={t} does not meet the requirement at S={s:.3f}")
+            if t > 1 and success_probability(float(s), t - 1) >= self.config.required_success:
+                problems.append(f"t={t} is not minimal at S={s:.3f}")
+        return problems
+
+
+def run_fig3(config: Fig3Config | None = None) -> Fig3Result:
+    """Compute the Fig. 3 curve (pure analysis, Eq. 6)."""
+    config = config or Fig3Config()
+    reliabilities = np.linspace(config.reliability_min, config.reliability_max, config.points)
+    executions = np.array(
+        [min_executions(config.required_success, float(s)) for s in reliabilities],
+        dtype=np.int64,
+    )
+    return Fig3Result(config=config, reliabilities=reliabilities, min_executions=executions)

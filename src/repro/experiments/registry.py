@@ -1,0 +1,107 @@
+"""Registry of the paper's experiments, keyed by figure id.
+
+The registry gives benchmarks, examples, and documentation a single place to
+enumerate what can be reproduced and with which default configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments import (
+    fig2_mean_fanout,
+    fig3_min_executions,
+    fig4_reliability_1000,
+    fig5_reliability_5000,
+    fig6_success_f4_q09,
+    fig7_success_f6_q06,
+)
+
+__all__ = ["ExperimentSpec", "get_experiment", "list_experiments"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Metadata and entry points of one reproducible experiment.
+
+    Attributes
+    ----------
+    experiment_id:
+        Short id, e.g. ``"fig4"``.
+    paper_reference:
+        The figure caption as the paper gives it.
+    config_factory:
+        Callable returning the default (paper-parameter) configuration.
+    runner:
+        Callable taking a configuration and returning the result object.
+    analytical_only:
+        True when the experiment involves no simulation (Figs. 2-3).
+    """
+
+    experiment_id: str
+    paper_reference: str
+    config_factory: Callable
+    runner: Callable
+    analytical_only: bool
+
+
+_REGISTRY: dict[str, ExperimentSpec] = {
+    "fig2": ExperimentSpec(
+        experiment_id="fig2",
+        paper_reference=fig2_mean_fanout.PAPER_REFERENCE,
+        config_factory=fig2_mean_fanout.Fig2Config,
+        runner=fig2_mean_fanout.run_fig2,
+        analytical_only=True,
+    ),
+    "fig3": ExperimentSpec(
+        experiment_id="fig3",
+        paper_reference=fig3_min_executions.PAPER_REFERENCE,
+        config_factory=fig3_min_executions.Fig3Config,
+        runner=fig3_min_executions.run_fig3,
+        analytical_only=True,
+    ),
+    "fig4": ExperimentSpec(
+        experiment_id="fig4",
+        paper_reference=fig4_reliability_1000.PAPER_REFERENCE,
+        config_factory=fig4_reliability_1000.Fig4Config,
+        runner=fig4_reliability_1000.run_fig4,
+        analytical_only=False,
+    ),
+    "fig5": ExperimentSpec(
+        experiment_id="fig5",
+        paper_reference=fig5_reliability_5000.PAPER_REFERENCE,
+        config_factory=fig5_reliability_5000.Fig5Config,
+        runner=fig5_reliability_5000.run_fig5,
+        analytical_only=False,
+    ),
+    "fig6": ExperimentSpec(
+        experiment_id="fig6",
+        paper_reference=fig6_success_f4_q09.PAPER_REFERENCE,
+        config_factory=fig6_success_f4_q09.Fig6Config,
+        runner=fig6_success_f4_q09.run_fig6,
+        analytical_only=False,
+    ),
+    "fig7": ExperimentSpec(
+        experiment_id="fig7",
+        paper_reference=fig7_success_f6_q06.PAPER_REFERENCE,
+        config_factory=fig7_success_f6_q06.Fig7Config,
+        runner=fig7_success_f6_q06.run_fig7,
+        analytical_only=False,
+    ),
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Return the spec of one experiment; raise ``KeyError`` with choices otherwise."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_experiments() -> list[ExperimentSpec]:
+    """Return all registered experiments in figure order."""
+    return [_REGISTRY[key] for key in sorted(_REGISTRY)]

@@ -1,0 +1,157 @@
+"""Connected components, union-find, and source reachability.
+
+The analytical model talks about components of the *undirected projection* of
+the gossip graph (the giant component), while the operational question — "did
+member ``y`` receive the message?" — is directed reachability from the source
+node.  Both are provided here on plain edge arrays so the simulator does not
+need to materialise a networkx graph on the hot path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_integer
+
+__all__ = [
+    "UnionFind",
+    "connected_components",
+    "component_sizes",
+    "largest_component_size",
+    "reachable_from",
+]
+
+
+class UnionFind:
+    """Disjoint-set forest with union by size and path compression.
+
+    Elements are integers ``0 .. n-1``.
+    """
+
+    def __init__(self, n: int):
+        n = check_integer("n", n, minimum=0)
+        self.parent = np.arange(n, dtype=np.int64)
+        self.size = np.ones(n, dtype=np.int64)
+        self.n_components = n
+
+    def __len__(self) -> int:
+        return len(self.parent)
+
+    def find(self, x: int) -> int:
+        """Return the representative of ``x`` (with path compression)."""
+        parent = self.parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return int(root)
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets containing ``a`` and ``b``; return True if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        self.n_components -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        """Return True iff ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def component_size(self, x: int) -> int:
+        """Return the size of the set containing ``x``."""
+        return int(self.size[self.find(x)])
+
+    def components(self) -> list[np.ndarray]:
+        """Return the current partition as a list of element arrays."""
+        roots = np.array([self.find(i) for i in range(len(self.parent))], dtype=np.int64)
+        out: list[np.ndarray] = []
+        for root in np.unique(roots):
+            out.append(np.flatnonzero(roots == root))
+        return out
+
+
+def connected_components(n: int, edges: np.ndarray) -> list[np.ndarray]:
+    """Return the connected components of an undirected graph given by ``edges``.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes (``0 .. n-1``).
+    edges:
+        Array of shape ``(m, 2)``; direction is ignored.
+    """
+    uf = _union_all(n, edges)
+    return uf.components()
+
+
+def component_sizes(n: int, edges: np.ndarray) -> np.ndarray:
+    """Return the sizes of all connected components (descending order)."""
+    uf = _union_all(n, edges)
+    roots = np.array([uf.find(i) for i in range(n)], dtype=np.int64)
+    _, counts = np.unique(roots, return_counts=True)
+    return np.sort(counts)[::-1]
+
+
+def largest_component_size(n: int, edges: np.ndarray) -> int:
+    """Return the size of the largest connected component (0 for an empty graph)."""
+    if n == 0:
+        return 0
+    return int(component_sizes(n, edges)[0])
+
+
+def _union_all(n: int, edges: np.ndarray) -> UnionFind:
+    n = check_integer("n", n, minimum=0)
+    edges = np.asarray(edges, dtype=np.int64)
+    uf = UnionFind(n)
+    if edges.size == 0:
+        return uf
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise ValueError(f"edges must have shape (m, 2), got {edges.shape}")
+    for a, b in edges:
+        uf.union(int(a), int(b))
+    return uf
+
+
+def reachable_from(n: int, edges: np.ndarray, source: int) -> np.ndarray:
+    """Return the boolean mask of nodes reachable from ``source`` along directed edges.
+
+    This is the operational definition of "received the message": member ``y``
+    receives the message of source ``s`` iff there is a directed gossip path
+    ``s → ... → y``.  Implemented as a frontier BFS over a CSR-style adjacency
+    built once from the edge array, so it is linear in ``n + m``.
+    """
+    n = check_integer("n", n, minimum=0)
+    source = check_integer("source", source, minimum=0, maximum=max(n - 1, 0))
+    edges = np.asarray(edges, dtype=np.int64)
+    visited = np.zeros(n, dtype=bool)
+    if n == 0:
+        return visited
+    visited[source] = True
+    if edges.size == 0:
+        return visited
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise ValueError(f"edges must have shape (m, 2), got {edges.shape}")
+
+    # CSR adjacency: sort edges by source node once.
+    order = np.argsort(edges[:, 0], kind="stable")
+    src_sorted = edges[order, 0]
+    dst_sorted = edges[order, 1]
+    starts = np.searchsorted(src_sorted, np.arange(n), side="left")
+    ends = np.searchsorted(src_sorted, np.arange(n), side="right")
+
+    frontier = [source]
+    while frontier:
+        next_frontier: list[int] = []
+        for u in frontier:
+            for v in dst_sorted[starts[u] : ends[u]]:
+                if not visited[v]:
+                    visited[v] = True
+                    next_frontier.append(int(v))
+        frontier = next_frontier
+    return visited

@@ -1,0 +1,153 @@
+"""The gossip-induced random graph of one execution, with failures applied.
+
+Section 3 of the paper observes that "the process of generating a random
+graph is similar to the process of gossiping a message": an arc ``x → y`` is
+present iff ``x`` gossips the message to ``y``.  Fail-stop failures remove
+nodes (site percolation): a failed member neither forwards nor counts towards
+the reliability.
+
+:class:`GossipGraph` materialises that object — the directed graph a single
+execution *would* trace if every nonfailed member that receives the message
+forwards it according to its pre-drawn fanout — and answers both questions
+the paper studies:
+
+* which nonfailed members are reachable from the source (reliability), and
+* what the component structure of the undirected projection looks like
+  (the analytical proxy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.distributions import FanoutDistribution
+from repro.graphs.components import largest_component_size, reachable_from
+from repro.graphs.configuration_model import directed_configuration_edges
+from repro.graphs.degree_sequence import sample_degree_sequence
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_integer, check_probability
+
+__all__ = ["GossipGraph", "build_gossip_graph"]
+
+
+@dataclass
+class GossipGraph:
+    """One realised gossip execution viewed as a random graph.
+
+    Attributes
+    ----------
+    n:
+        Total number of members.
+    source:
+        The source member (never fails).
+    alive:
+        Boolean mask of nonfailed members (``alive[source]`` is always True).
+    fanouts:
+        The fanout drawn by each member (only meaningful for alive members —
+        failed members never forward).
+    edges:
+        Directed gossip arcs ``(x, y)`` restricted to alive sources.  Arcs
+        into failed members are kept: a failed member may "receive" the
+        message but never forwards it, matching the paper's two failure cases
+        (crash before receiving, or after receiving but before forwarding).
+    """
+
+    n: int
+    source: int
+    alive: np.ndarray
+    fanouts: np.ndarray
+    edges: np.ndarray
+
+    # ------------------------------------------------------------ queries
+    def n_alive(self) -> int:
+        """Return the number of nonfailed members."""
+        return int(self.alive.sum())
+
+    def effective_edges(self) -> np.ndarray:
+        """Return the arcs usable for dissemination (alive source AND alive target).
+
+        Arcs into failed members cannot contribute to further dissemination,
+        so reachability over the *effective* arcs equals reachability of
+        nonfailed members over the full arc set.
+        """
+        if self.edges.size == 0:
+            return self.edges
+        keep = self.alive[self.edges[:, 0]] & self.alive[self.edges[:, 1]]
+        return self.edges[keep]
+
+    def reached(self) -> np.ndarray:
+        """Return the boolean mask of members reachable from the source."""
+        return reachable_from(self.n, self.effective_edges(), self.source)
+
+    def reliability(self) -> float:
+        """Return the realised reliability: reached nonfailed members / nonfailed members."""
+        alive_count = self.n_alive()
+        if alive_count == 0:
+            return 0.0
+        reached_alive = int((self.reached() & self.alive).sum())
+        return reached_alive / alive_count
+
+    def giant_component_fraction(self) -> float:
+        """Return the largest undirected component's share of nonfailed members.
+
+        This is the analytical proxy the paper uses for reliability: the
+        undirected projection of the effective gossip arcs, restricted to
+        nonfailed members.
+        """
+        alive_count = self.n_alive()
+        if alive_count == 0:
+            return 0.0
+        effective = self.effective_edges()
+        return largest_component_size(self.n, effective) / alive_count if alive_count else 0.0
+
+    def out_degree_of_alive(self) -> np.ndarray:
+        """Return the realised out-degrees of nonfailed members."""
+        degrees = np.zeros(self.n, dtype=np.int64)
+        if self.edges.size:
+            np.add.at(degrees, self.edges[:, 0], 1)
+        return degrees[self.alive]
+
+
+def build_gossip_graph(
+    n: int,
+    distribution: FanoutDistribution,
+    q: float,
+    *,
+    source: int = 0,
+    seed=None,
+) -> GossipGraph:
+    """Build the gossip graph of one execution of ``Gossip(n, P, q)``.
+
+    Every member draws a fanout from ``distribution`` and selects that many
+    distinct targets uniformly at random from the other members; then a
+    uniform fraction ``1 - q`` of members (never the source) is marked failed.
+
+    Parameters
+    ----------
+    n:
+        Group size.
+    distribution:
+        Fanout distribution ``P``.
+    q:
+        Nonfailed-member ratio.
+    source:
+        The member that initiates gossiping (assumed never to fail).
+    seed:
+        RNG seed or generator.
+    """
+    n = check_integer("n", n, minimum=1)
+    q = check_probability("q", q)
+    source = check_integer("source", source, minimum=0, maximum=n - 1)
+    rng = as_generator(seed)
+
+    fanouts = sample_degree_sequence(distribution, n, seed=rng, max_degree=n - 1)
+    alive = rng.random(n) < q
+    alive[source] = True
+
+    # Failed members never forward: drop their out-arcs before building edges
+    # (equivalent to building all arcs then filtering, but cheaper).
+    effective_out = np.where(alive, fanouts, 0)
+    edges = directed_configuration_edges(effective_out, seed=rng)
+    return GossipGraph(n=n, source=source, alive=alive, fanouts=fanouts, edges=edges)

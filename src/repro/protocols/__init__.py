@@ -1,0 +1,45 @@
+"""Baseline reliable-multicast protocols.
+
+The paper positions its general gossip algorithm against the protocols of the
+related-work section (pbcast/Bimodal Multicast, lpbcast, Route Driven Gossip,
+and traditional fixed-fanout gossip) but never evaluates them directly.  To
+make the benchmark harness able to compare reliability/fault-tolerance across
+protocol families, this subpackage re-implements the *dissemination cores* of
+those protocols on top of the same simulation substrate:
+
+* :class:`~repro.protocols.fixed_fanout.FixedFanoutGossip` — push gossip with
+  a constant fanout (the traditional algorithm the paper generalises).
+* :class:`~repro.protocols.random_fanout.RandomFanoutGossip` — the paper's
+  general algorithm wrapped in the common protocol interface.
+* :class:`~repro.protocols.pbcast.PbcastProtocol` — Bimodal-Multicast style:
+  an unreliable best-effort broadcast followed by anti-entropy gossip rounds.
+* :class:`~repro.protocols.lpbcast.LpbcastProtocol` — lightweight
+  probabilistic broadcast: rounds of push gossip from a bounded event buffer.
+* :class:`~repro.protocols.rdg.RouteDrivenGossip` — RDG style push/pull:
+  periodic digest exchange with pull-based recovery of missing messages.
+* :class:`~repro.protocols.flooding.FloodingProtocol` — deterministic
+  flooding over a random overlay, an upper-bound (and message-cost extreme)
+  baseline.
+
+All protocols implement the :class:`~repro.protocols.base.Protocol` interface
+and return :class:`~repro.protocols.base.ProtocolResult`.
+"""
+
+from repro.protocols.base import Protocol, ProtocolResult
+from repro.protocols.fixed_fanout import FixedFanoutGossip
+from repro.protocols.random_fanout import RandomFanoutGossip
+from repro.protocols.pbcast import PbcastProtocol
+from repro.protocols.lpbcast import LpbcastProtocol
+from repro.protocols.rdg import RouteDrivenGossip
+from repro.protocols.flooding import FloodingProtocol
+
+__all__ = [
+    "Protocol",
+    "ProtocolResult",
+    "FixedFanoutGossip",
+    "RandomFanoutGossip",
+    "PbcastProtocol",
+    "LpbcastProtocol",
+    "RouteDrivenGossip",
+    "FloodingProtocol",
+]

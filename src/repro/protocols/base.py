@@ -1,0 +1,118 @@
+"""Common interface and result record for baseline multicast protocols.
+
+Every protocol disseminates a single message from a source member through a
+group of ``n`` members, a fraction ``1 - q`` of which crash (fail-stop, source
+excluded), and reports which nonfailed members ended up with the message and
+how many point-to-point messages the protocol spent doing so.  Keeping the
+interface this narrow is what makes the cross-protocol reliability/cost
+comparison in ``benchmarks/bench_baseline_protocols.py`` meaningful.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulation.failures import FailurePattern, UniformCrashModel
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_integer, check_probability
+
+__all__ = ["Protocol", "ProtocolResult"]
+
+
+@dataclass(frozen=True)
+class ProtocolResult:
+    """Outcome of one protocol run.
+
+    Attributes
+    ----------
+    protocol:
+        Protocol name.
+    n:
+        Group size.
+    alive:
+        Boolean mask of nonfailed members.
+    delivered:
+        Boolean mask of nonfailed members holding the message at the end.
+    messages_sent:
+        Total point-to-point messages (data + control) sent by the protocol.
+    rounds:
+        Number of protocol rounds / gossip hops executed.
+    """
+
+    protocol: str
+    n: int
+    alive: np.ndarray
+    delivered: np.ndarray
+    messages_sent: int
+    rounds: int
+
+    def n_alive(self) -> int:
+        """Return the number of nonfailed members."""
+        return int(self.alive.sum())
+
+    def reliability(self) -> float:
+        """Return delivered nonfailed members / nonfailed members."""
+        alive = self.n_alive()
+        return float((self.delivered & self.alive).sum()) / alive if alive else 0.0
+
+    def is_atomic(self) -> bool:
+        """Return True iff every nonfailed member received the message."""
+        return bool(np.all(self.delivered[self.alive]))
+
+    def messages_per_member(self) -> float:
+        """Return the message cost normalised by group size."""
+        return self.messages_sent / self.n if self.n else 0.0
+
+
+class Protocol(ABC):
+    """Abstract baseline protocol.
+
+    Subclasses implement :meth:`_disseminate`, which receives the failure
+    pattern and an RNG and returns ``(delivered, messages_sent, rounds)``.
+    The shared :meth:`run` method handles failure drawing and bookkeeping so
+    every protocol is evaluated under exactly the same fault model as the
+    paper's algorithm.
+    """
+
+    #: human-readable protocol name (overridden by subclasses)
+    name: str = "protocol"
+
+    def run(
+        self,
+        n: int,
+        q: float,
+        *,
+        source: int = 0,
+        seed=None,
+        failure_pattern: FailurePattern | None = None,
+    ) -> ProtocolResult:
+        """Disseminate one message through a group with fail-stop failures."""
+        n = check_integer("n", n, minimum=2)
+        q = check_probability("q", q)
+        source = check_integer("source", source, minimum=0, maximum=n - 1)
+        rng = as_generator(seed)
+        if failure_pattern is None:
+            failure_pattern = UniformCrashModel(q).draw(n, rng, source=source)
+        alive = failure_pattern.alive.copy()
+        alive[source] = True
+        delivered, messages, rounds = self._disseminate(n, alive, source, rng)
+        delivered = np.asarray(delivered, dtype=bool)
+        delivered &= alive  # failed members never count as delivered
+        delivered[source] = True
+        return ProtocolResult(
+            protocol=self.name,
+            n=n,
+            alive=alive,
+            delivered=delivered,
+            messages_sent=int(messages),
+            rounds=int(rounds),
+        )
+
+    @abstractmethod
+    def _disseminate(
+        self, n: int, alive: np.ndarray, source: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, int, int]:
+        """Protocol-specific dissemination; returns (delivered mask, messages, rounds)."""

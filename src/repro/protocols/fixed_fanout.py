@@ -1,0 +1,54 @@
+"""Traditional push gossip with a constant fanout.
+
+This is the algorithm the paper's "general gossiping algorithm" generalises:
+instead of drawing the fanout from a distribution, every member forwards the
+message to exactly ``fanout`` targets chosen uniformly at random the first
+time it receives it.  Analytically it corresponds to the
+:class:`~repro.core.distributions.FixedFanout` degree distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.protocols.base import Protocol
+from repro.simulation.membership import sample_distinct
+from repro.utils.validation import check_integer
+
+__all__ = ["FixedFanoutGossip"]
+
+
+class FixedFanoutGossip(Protocol):
+    """Push gossip where every infected member forwards to ``fanout`` peers once."""
+
+    name = "fixed-fanout"
+
+    def __init__(self, fanout: int):
+        self.fanout = check_integer("fanout", fanout, minimum=0)
+
+    def _disseminate(self, n, alive, source, rng):
+        received = np.zeros(n, dtype=bool)
+        delivered = np.zeros(n, dtype=bool)
+        received[source] = True
+        delivered[source] = True
+        messages = 0
+        rounds = 0
+        frontier = np.array([source], dtype=np.int64)
+        while frontier.size:
+            rounds += 1
+            batches = [
+                sample_distinct(rng, n, self.fanout, exclude=int(member))
+                for member in frontier
+            ]
+            batches = [b for b in batches if b.size]
+            if not batches:
+                break
+            targets = np.concatenate(batches)
+            messages += int(targets.size)
+            unique_targets = np.unique(targets)
+            fresh = unique_targets[~received[unique_targets]]
+            received[fresh] = True
+            newly_alive = fresh[alive[fresh]]
+            delivered[newly_alive] = True
+            frontier = newly_alive
+        return delivered, messages, rounds

@@ -1,0 +1,61 @@
+"""Deterministic flooding over a random overlay.
+
+Flooding forwards the message on every overlay link exactly once.  On a
+connected overlay it reaches every nonfailed member that remains connected to
+the source, so it is the reliability upper bound for a given overlay — at the
+cost of ``O(n · degree)`` messages.  It anchors the protocol comparison: the
+interesting question for gossip protocols is how close they get to flooding's
+reliability at a fraction of its message cost.
+
+The overlay is a random regular-ish graph: every member links to ``degree``
+uniformly chosen peers (links are used bidirectionally, as overlay links are).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.protocols.base import Protocol
+from repro.simulation.membership import sample_distinct
+from repro.utils.validation import check_integer
+
+__all__ = ["FloodingProtocol"]
+
+
+class FloodingProtocol(Protocol):
+    """Flood the message over every link of a random overlay."""
+
+    name = "flooding"
+
+    def __init__(self, degree: int = 4):
+        self.degree = check_integer("degree", degree, minimum=1)
+
+    def _disseminate(self, n, alive, source, rng):
+        # Build the overlay: each member picks `degree` neighbours; links are
+        # symmetric, so the adjacency is the union of both directions.
+        neighbours: list[set[int]] = [set() for _ in range(n)]
+        for member in range(n):
+            picks = sample_distinct(rng, n, min(self.degree, n - 1), exclude=member)
+            for peer in picks:
+                neighbours[member].add(int(peer))
+                neighbours[int(peer)].add(member)
+
+        delivered = np.zeros(n, dtype=bool)
+        delivered[source] = True
+        messages = 0
+        rounds = 0
+        frontier = [source]
+        while frontier:
+            rounds += 1
+            next_frontier: list[int] = []
+            for member in frontier:
+                if not alive[member] and member != source:
+                    continue
+                for peer in neighbours[member]:
+                    messages += 1
+                    if not delivered[peer]:
+                        delivered[peer] = True
+                        if alive[peer]:
+                            next_frontier.append(peer)
+            frontier = next_frontier
+        return delivered, messages, rounds

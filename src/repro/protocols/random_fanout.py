@@ -1,0 +1,43 @@
+"""The paper's general gossip algorithm wrapped in the common protocol interface.
+
+Functionally identical to :func:`repro.simulation.gossip.simulate_gossip_once`;
+exposing it as a :class:`~repro.protocols.base.Protocol` lets the baseline
+comparison benchmark treat "the paper's algorithm" as just another row of the
+protocol table.
+"""
+
+from __future__ import annotations
+
+from repro.core.distributions import FanoutDistribution
+from repro.protocols.base import Protocol
+from repro.simulation.failures import FailurePattern
+from repro.simulation.gossip import simulate_gossip_once
+
+__all__ = ["RandomFanoutGossip"]
+
+
+class RandomFanoutGossip(Protocol):
+    """Push gossip with a per-member random fanout drawn from a distribution."""
+
+    name = "random-fanout"
+
+    def __init__(self, distribution: FanoutDistribution):
+        if not isinstance(distribution, FanoutDistribution):
+            raise TypeError(
+                f"distribution must be a FanoutDistribution, got {type(distribution).__name__}"
+            )
+        self.distribution = distribution
+
+    def _disseminate(self, n, alive, source, rng):
+        import numpy as np
+
+        pattern = FailurePattern(alive=alive, timing=np.full(n, None, dtype=object))
+        execution = simulate_gossip_once(
+            n,
+            self.distribution,
+            q=1.0,  # failures are supplied through the explicit pattern
+            source=source,
+            seed=rng,
+            failure_pattern=pattern,
+        )
+        return execution.delivered, execution.messages_sent, execution.rounds

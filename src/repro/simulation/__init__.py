@@ -1,0 +1,61 @@
+"""Simulation substrate for the general gossip algorithm.
+
+Two simulators are provided:
+
+* a **fast Monte-Carlo simulator** (:mod:`repro.simulation.gossip`) that
+  executes the gossip algorithm as a frontier/BFS process over vectorised
+  target sampling — this is the engine behind the paper's Figs. 4-7
+  reproductions, and
+* a **discrete-event simulator** (:mod:`repro.simulation.engine`,
+  :mod:`repro.simulation.node`, :mod:`repro.simulation.network`) that models
+  per-message latencies, message loss, and crash timing explicitly — the
+  behavioural reference used in tests and in the protocol baselines.
+
+Supporting modules supply membership views (:mod:`repro.simulation.membership`),
+fail-stop failure injection (:mod:`repro.simulation.failures`), repeated-execution
+experiments (:mod:`repro.simulation.rounds`), result records
+(:mod:`repro.simulation.metrics`), and the Monte-Carlo runner / parameter sweep
+driver (:mod:`repro.simulation.runner`).
+"""
+
+from repro.simulation.engine import EventScheduler, Event
+from repro.simulation.membership import FullView, UniformPartialView, MembershipView
+from repro.simulation.failures import FailureModel, UniformCrashModel, CrashTiming
+from repro.simulation.network import NetworkModel, latency_constant, latency_uniform
+from repro.simulation.gossip import (
+    GossipExecution,
+    simulate_gossip_once,
+    simulate_gossip_event_driven,
+)
+from repro.simulation.metrics import (
+    ReliabilityEstimate,
+    SuccessCountResult,
+    summarize_executions,
+)
+from repro.simulation.rounds import simulate_success_counts, repeated_executions
+from repro.simulation.runner import estimate_reliability, reliability_sweep, SweepResult
+
+__all__ = [
+    "EventScheduler",
+    "Event",
+    "MembershipView",
+    "FullView",
+    "UniformPartialView",
+    "FailureModel",
+    "UniformCrashModel",
+    "CrashTiming",
+    "NetworkModel",
+    "latency_constant",
+    "latency_uniform",
+    "GossipExecution",
+    "simulate_gossip_once",
+    "simulate_gossip_event_driven",
+    "ReliabilityEstimate",
+    "SuccessCountResult",
+    "summarize_executions",
+    "simulate_success_counts",
+    "repeated_executions",
+    "estimate_reliability",
+    "reliability_sweep",
+    "SweepResult",
+]

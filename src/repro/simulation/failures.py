@@ -1,0 +1,131 @@
+"""Fail-stop failure injection (Section 3 / Section 4.1 failure model).
+
+The paper assumes a fail-stop model: failed members never gossip messages
+they receive, they fail only by crashing, and the source node never fails.
+Two crash timings are distinguished but "treated the same" analytically:
+crash *before* receiving the message, or crash *after* receiving it but
+*before* forwarding.  The simulator honours that distinction so the
+equivalence can actually be demonstrated:
+
+* ``CrashTiming.BEFORE_RECEIVE`` — the member is dead from the start; it is
+  not counted as having received the message.
+* ``CrashTiming.AFTER_RECEIVE`` — the member receives (the message reaches
+  its host) but crashes before forwarding; it still does not count towards
+  the reliability because reliability is defined over *nonfailed* members.
+
+Either way the member contributes nothing to further dissemination, which is
+why the analysis can lump both cases into a single nonfailed ratio ``q``.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_integer, check_probability
+
+__all__ = ["CrashTiming", "FailurePattern", "FailureModel", "UniformCrashModel", "TargetedCrashModel"]
+
+
+class CrashTiming(enum.Enum):
+    """When a failed member crashes relative to message receipt."""
+
+    BEFORE_RECEIVE = "before_receive"
+    AFTER_RECEIVE = "after_receive"
+
+
+@dataclass(frozen=True)
+class FailurePattern:
+    """A realised failure pattern for one execution.
+
+    Attributes
+    ----------
+    alive:
+        Boolean mask over members; ``True`` means the member never crashes.
+    timing:
+        For failed members, whether the crash happens before or after receipt
+        (irrelevant to reliability, modelled for completeness).  Entries for
+        alive members are ``CrashTiming.BEFORE_RECEIVE`` by convention and
+        ignored.
+    """
+
+    alive: np.ndarray
+    timing: np.ndarray
+
+    def n_alive(self) -> int:
+        """Return the number of nonfailed members."""
+        return int(self.alive.sum())
+
+    def failed_members(self) -> np.ndarray:
+        """Return the identifiers of failed members."""
+        return np.flatnonzero(~self.alive)
+
+
+class FailureModel(ABC):
+    """Abstract generator of failure patterns."""
+
+    @abstractmethod
+    def draw(self, n: int, rng: np.random.Generator, *, source: int = 0) -> FailurePattern:
+        """Draw a failure pattern for a group of ``n`` members.
+
+        Implementations must keep the source alive (the paper assumes the
+        source never fails).
+        """
+
+
+@dataclass
+class UniformCrashModel(FailureModel):
+    """Every member (except the source) fails independently with probability ``1 - q``.
+
+    This is the paper's uniform-``q_k`` specialisation (Section 4.1): the
+    non-failure probability does not depend on the member's fanout.
+    """
+
+    q: float
+    after_receive_fraction: float = 0.5
+
+    def __post_init__(self):
+        self.q = check_probability("q", self.q)
+        self.after_receive_fraction = check_probability(
+            "after_receive_fraction", self.after_receive_fraction
+        )
+
+    def draw(self, n: int, rng: np.random.Generator, *, source: int = 0) -> FailurePattern:
+        n = check_integer("n", n, minimum=1)
+        source = check_integer("source", source, minimum=0, maximum=n - 1)
+        rng = as_generator(rng)
+        alive = rng.random(n) < self.q
+        alive[source] = True
+        timing_draw = rng.random(n) < self.after_receive_fraction
+        timing = np.where(
+            timing_draw, CrashTiming.AFTER_RECEIVE, CrashTiming.BEFORE_RECEIVE
+        )
+        return FailurePattern(alive=alive, timing=timing)
+
+
+@dataclass
+class TargetedCrashModel(FailureModel):
+    """Fail exactly the given members (deterministic failure injection).
+
+    Useful in tests and in worst-case ablations (e.g. failing the highest
+    fanout members first to probe the uniform-failure assumption).
+    """
+
+    failed: tuple
+
+    def __post_init__(self):
+        self.failed = tuple(int(f) for f in self.failed)
+
+    def draw(self, n: int, rng: np.random.Generator, *, source: int = 0) -> FailurePattern:
+        n = check_integer("n", n, minimum=1)
+        source = check_integer("source", source, minimum=0, maximum=n - 1)
+        alive = np.ones(n, dtype=bool)
+        for member in self.failed:
+            if 0 <= member < n and member != source:
+                alive[member] = False
+        timing = np.full(n, CrashTiming.BEFORE_RECEIVE, dtype=object)
+        return FailurePattern(alive=alive, timing=timing)

@@ -1,0 +1,289 @@
+"""Simulators of the general gossip algorithm (the paper's Figure 1).
+
+Two implementations of the same protocol are provided:
+
+* :func:`simulate_gossip_once` — a fast frontier (BFS) Monte-Carlo.  Time is
+  abstracted into gossip "hops"; within a hop every newly infected nonfailed
+  member draws its fanout, samples its targets, and the messages land at the
+  next hop.  Because every member forwards at most once and duplicates are
+  discarded, this is an exact simulation of the algorithm's reachability —
+  the only abstraction is the delivery order, which reliability does not
+  depend on.
+* :func:`simulate_gossip_event_driven` — the behavioural reference built on
+  the discrete-event engine.  It models per-message latencies, optional
+  message loss, and the two crash timings explicitly.  With the default
+  network (no loss) it must agree with the fast simulator in distribution;
+  the integration tests check exactly that.
+
+Both return :class:`GossipExecution`, which carries the raw masks as well as
+the headline reliability so downstream code can compute any derived metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.distributions import FanoutDistribution
+from repro.simulation.engine import EventScheduler
+from repro.simulation.failures import CrashTiming, FailurePattern, UniformCrashModel
+from repro.simulation.membership import FullView, MembershipView
+from repro.simulation.metrics import ExecutionMetrics
+from repro.simulation.network import NetworkModel
+from repro.simulation.node import Member
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_integer, check_probability
+
+__all__ = ["GossipExecution", "simulate_gossip_once", "simulate_gossip_event_driven"]
+
+
+@dataclass(frozen=True)
+class GossipExecution:
+    """Outcome of one execution of the gossip algorithm.
+
+    Attributes
+    ----------
+    n:
+        Group size.
+    source:
+        Source member identifier.
+    alive:
+        Boolean mask of nonfailed members.
+    delivered:
+        Boolean mask of members that count as having received the message
+        (always a subset of ``alive``; the source is always delivered).
+    rounds:
+        Number of gossip hops until dissemination died out.
+    messages_sent:
+        Total messages sent by forwarding members.
+    duplicates:
+        Messages that arrived at members which already had the message.
+    """
+
+    n: int
+    source: int
+    alive: np.ndarray
+    delivered: np.ndarray
+    rounds: int
+    messages_sent: int
+    duplicates: int
+
+    def n_alive(self) -> int:
+        """Return the number of nonfailed members."""
+        return int(self.alive.sum())
+
+    def n_delivered(self) -> int:
+        """Return the number of nonfailed members that received the message."""
+        return int(self.delivered.sum())
+
+    def reliability(self) -> float:
+        """Return the realised reliability ``n_delivered / n_alive``."""
+        alive = self.n_alive()
+        return self.n_delivered() / alive if alive else 0.0
+
+    def is_success(self, threshold: float = 1.0) -> bool:
+        """Return True iff at least ``threshold`` of nonfailed members were reached."""
+        threshold = check_probability("threshold", threshold)
+        return self.reliability() >= threshold - 1e-12
+
+    def spread_occurred(self, min_delivered: int | None = None) -> bool:
+        """Return True iff the gossip "took off" instead of dying out immediately.
+
+        Individual executions are bimodal: with probability roughly equal to
+        the giant-component size the dissemination reaches ~S of the group,
+        otherwise it dies out after a handful of hops.  The standard
+        percolation-simulation convention is to call a run an *epidemic* when
+        it delivers more than ``max(10, sqrt(n))`` members (sub-giant
+        components have size ``O(log n)`` off criticality and ``O(n^{2/3})``
+        at it).  The paper's analytical reliability corresponds to the
+        *conditional* average over such runs; see
+        :func:`repro.simulation.runner.estimate_reliability`.
+        """
+        if min_delivered is None:
+            min_delivered = max(10, int(np.sqrt(self.n)))
+        return self.n_delivered() > min_delivered
+
+    def missed_members(self) -> np.ndarray:
+        """Return the nonfailed members that did not receive the message."""
+        return np.flatnonzero(self.alive & ~self.delivered)
+
+    def metrics(self) -> ExecutionMetrics:
+        """Return the flat metrics record for aggregation."""
+        return ExecutionMetrics(
+            n=self.n,
+            n_alive=self.n_alive(),
+            n_reached_alive=self.n_delivered(),
+            reliability=self.reliability(),
+            rounds=self.rounds,
+            messages_sent=self.messages_sent,
+            duplicates=self.duplicates,
+            success=self.is_success(1.0),
+            spread=self.spread_occurred(),
+        )
+
+
+def simulate_gossip_once(
+    n: int,
+    distribution: FanoutDistribution,
+    q: float,
+    *,
+    source: int = 0,
+    seed=None,
+    membership: MembershipView | None = None,
+    failure_pattern: FailurePattern | None = None,
+) -> GossipExecution:
+    """Run one execution of the general gossip algorithm (fast frontier simulation).
+
+    Parameters
+    ----------
+    n:
+        Group size.
+    distribution:
+        Fanout distribution ``P``.
+    q:
+        Nonfailed-member ratio (ignored when an explicit ``failure_pattern``
+        is supplied).
+    source:
+        The member that multicasts the message (never fails).
+    seed:
+        Seed or generator for all randomness of this execution.
+    membership:
+        Membership view provider; defaults to a full view of the group.
+    failure_pattern:
+        Pre-drawn failure pattern (used by repeated-execution experiments
+        that want to hold failures fixed across executions).
+    """
+    n = check_integer("n", n, minimum=1)
+    q = check_probability("q", q)
+    source = check_integer("source", source, minimum=0, maximum=n - 1)
+    rng = as_generator(seed)
+    view = membership if membership is not None else FullView(n)
+    if view.n != n:
+        raise ValueError(f"membership view is for n={view.n}, expected n={n}")
+
+    if failure_pattern is None:
+        failure_pattern = UniformCrashModel(q).draw(n, rng, source=source)
+    alive = failure_pattern.alive.copy()
+    alive[source] = True
+
+    received = np.zeros(n, dtype=bool)
+    delivered = np.zeros(n, dtype=bool)
+    received[source] = True
+    delivered[source] = True
+
+    messages_sent = 0
+    duplicates = 0
+    rounds = 0
+
+    frontier = np.array([source], dtype=np.int64)
+    while frontier.size:
+        rounds += 1
+        fanouts = distribution.sample(frontier.size, seed=rng)
+        target_batches = [
+            view.sample_targets(int(member), int(fanout), rng)
+            for member, fanout in zip(frontier, fanouts)
+            if fanout > 0
+        ]
+        if not target_batches:
+            break
+        all_targets = np.concatenate(target_batches)
+        messages_sent += int(all_targets.size)
+        # Deliveries are processed as a batch: members that already had the
+        # message (or appear twice in the batch) count as duplicates; failed
+        # targets "receive" but never forward (crash-after-receive) or the
+        # message is wasted (crash-before-receive) — either way they do not
+        # join the frontier.
+        unique_targets = np.unique(all_targets)
+        fresh = unique_targets[~received[unique_targets]]
+        duplicates += int(all_targets.size - fresh.size)
+        received[fresh] = True
+        newly_alive = fresh[alive[fresh]]
+        delivered[newly_alive] = True
+        frontier = newly_alive
+
+    return GossipExecution(
+        n=n,
+        source=source,
+        alive=alive,
+        delivered=delivered,
+        rounds=rounds,
+        messages_sent=messages_sent,
+        duplicates=duplicates,
+    )
+
+
+def simulate_gossip_event_driven(
+    n: int,
+    distribution: FanoutDistribution,
+    q: float,
+    *,
+    source: int = 0,
+    seed=None,
+    membership: MembershipView | None = None,
+    network: NetworkModel | None = None,
+    failure_pattern: FailurePattern | None = None,
+    max_events: int | None = None,
+) -> GossipExecution:
+    """Run one execution on the discrete-event engine (behavioural reference).
+
+    Semantics match :func:`simulate_gossip_once`; additionally each message
+    experiences a latency drawn from ``network.latency`` and may be lost with
+    ``network.loss_probability``.  With the default loss-free network the
+    reachability distribution is identical to the fast simulator's.
+    """
+    n = check_integer("n", n, minimum=1)
+    q = check_probability("q", q)
+    source = check_integer("source", source, minimum=0, maximum=n - 1)
+    rng = as_generator(seed)
+    view = membership if membership is not None else FullView(n)
+    if view.n != n:
+        raise ValueError(f"membership view is for n={view.n}, expected n={n}")
+    net = network if network is not None else NetworkModel()
+
+    if failure_pattern is None:
+        failure_pattern = UniformCrashModel(q).draw(n, rng, source=source)
+    alive = failure_pattern.alive.copy()
+    alive[source] = True
+    members = Member.build_group(n, alive, failure_pattern.timing)
+    members[source].alive = True
+
+    scheduler = EventScheduler()
+    state = {"messages_sent": 0, "max_depth": 0}
+
+    def handle_receive(sched: EventScheduler, data):
+        member_id, depth = data
+        member = members[member_id]
+        should_forward = member.on_receive(sched.now)
+        if not should_forward:
+            return
+        state["max_depth"] = max(state["max_depth"], depth)
+        fanout = int(distribution.sample(1, seed=rng)[0])
+        if fanout <= 0:
+            return
+        targets = view.sample_targets(member_id, fanout, rng)
+        member.record_forward(len(targets))
+        for target in targets:
+            state["messages_sent"] += 1
+            net.transmit(
+                rng,
+                lambda latency, t=int(target), d=depth + 1: scheduler.schedule(
+                    latency, handle_receive, (t, d)
+                ),
+            )
+
+    # The source "receives" its own message at time 0 and gossips it.
+    scheduler.schedule(0.0, handle_receive, (source, 0))
+    scheduler.run(max_events=max_events)
+
+    delivered = np.array([m.delivered for m in members], dtype=bool)
+    duplicates = int(sum(m.duplicates for m in members))
+    return GossipExecution(
+        n=n,
+        source=source,
+        alive=alive,
+        delivered=delivered,
+        rounds=int(state["max_depth"]) + 1 if delivered.sum() > 0 else 0,
+        messages_sent=int(state["messages_sent"]),
+        duplicates=duplicates,
+    )

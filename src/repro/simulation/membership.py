@@ -1,0 +1,143 @@
+"""Membership views for gossip target selection.
+
+Section 3 of the paper assumes "a scalable membership protocol is available"
+(e.g. SCAMP) and deliberately scopes membership out of the analysis: every
+member selects its gossip targets "uniformly at random from its membership
+view".  The analytical model implicitly assumes that view is the whole group.
+
+Two view providers are implemented:
+
+* :class:`FullView` — every member knows every other member (the paper's
+  implicit assumption and the default everywhere).
+* :class:`UniformPartialView` — every member knows a fixed-size uniformly
+  random subset of the group, refreshed once per execution (a SCAMP-like
+  partial view).  Used by the membership ablation benchmark to show how the
+  reliability degrades when the view is much smaller than the group.
+
+Views expose a single operation, :meth:`MembershipView.sample_targets`, that
+draws ``k`` distinct gossip targets for a member (never including the member
+itself).  Sampling uses Floyd's algorithm so cost is ``O(k)`` regardless of
+group size.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_integer
+
+__all__ = ["MembershipView", "FullView", "UniformPartialView", "sample_distinct"]
+
+
+def sample_distinct(
+    rng: np.random.Generator, population: int, k: int, exclude: int | None = None
+) -> np.ndarray:
+    """Sample ``k`` distinct integers from ``[0, population)`` excluding ``exclude``.
+
+    Uses Floyd's algorithm (O(k) expected work).  If ``k`` exceeds the number
+    of available values it is truncated.
+    """
+    if population <= 0:
+        return np.empty(0, dtype=np.int64)
+    available = population - (1 if exclude is not None and 0 <= exclude < population else 0)
+    k = min(int(k), available)
+    if k <= 0:
+        return np.empty(0, dtype=np.int64)
+    if exclude is None or not (0 <= exclude < population):
+        # Floyd over [0, population)
+        chosen: set[int] = set()
+        for j in range(population - k, population):
+            t = int(rng.integers(0, j + 1))
+            chosen.add(t if t not in chosen else j)
+        return np.fromiter(chosen, dtype=np.int64, count=len(chosen))
+    # Sample from population-1 virtual slots then shift indices >= exclude.
+    m = population - 1
+    chosen = set()
+    for j in range(m - k, m):
+        t = int(rng.integers(0, j + 1))
+        chosen.add(t if t not in chosen else j)
+    arr = np.fromiter(chosen, dtype=np.int64, count=len(chosen))
+    arr[arr >= exclude] += 1
+    return arr
+
+
+class MembershipView(ABC):
+    """Abstract membership-view provider for a group of ``n`` members."""
+
+    def __init__(self, n: int):
+        self.n = check_integer("n", n, minimum=1)
+
+    @abstractmethod
+    def view_of(self, member: int) -> np.ndarray:
+        """Return the member identifiers visible to ``member`` (excluding itself)."""
+
+    @abstractmethod
+    def sample_targets(self, member: int, k: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``k`` distinct gossip targets for ``member`` from its view."""
+
+    def view_size(self, member: int) -> int:
+        """Return the number of members visible to ``member``."""
+        return int(len(self.view_of(member)))
+
+    def reset(self, seed=None) -> None:
+        """Re-randomise the view (no-op for deterministic views)."""
+
+
+class FullView(MembershipView):
+    """Every member sees the entire group (the analytical model's assumption)."""
+
+    def view_of(self, member: int) -> np.ndarray:
+        member = check_integer("member", member, minimum=0, maximum=self.n - 1)
+        view = np.arange(self.n, dtype=np.int64)
+        return np.delete(view, member)
+
+    def sample_targets(self, member: int, k: int, rng: np.random.Generator) -> np.ndarray:
+        member = check_integer("member", member, minimum=0, maximum=self.n - 1)
+        return sample_distinct(rng, self.n, k, exclude=member)
+
+
+class UniformPartialView(MembershipView):
+    """Every member sees a fixed-size uniformly random subset of the group.
+
+    Parameters
+    ----------
+    n:
+        Group size.
+    view_size:
+        Number of other members each member knows.  Values >= n - 1 degrade
+        to a full view.
+    seed:
+        Seed for the view assignment (views are re-drawn by :meth:`reset`).
+    """
+
+    def __init__(self, n: int, view_size: int, *, seed=None):
+        super().__init__(n)
+        self._view_size = check_integer("view_size", view_size, minimum=1)
+        self._views: dict[int, np.ndarray] = {}
+        self.reset(seed)
+
+    def reset(self, seed=None) -> None:
+        rng = as_generator(seed)
+        size = min(self._view_size, self.n - 1)
+        self._views = {
+            member: np.sort(sample_distinct(rng, self.n, size, exclude=member))
+            for member in range(self.n)
+        }
+
+    def view_of(self, member: int) -> np.ndarray:
+        member = check_integer("member", member, minimum=0, maximum=self.n - 1)
+        return self._views[member]
+
+    def sample_targets(self, member: int, k: int, rng: np.random.Generator) -> np.ndarray:
+        member = check_integer("member", member, minimum=0, maximum=self.n - 1)
+        view = self._views[member]
+        if len(view) == 0:
+            return np.empty(0, dtype=np.int64)
+        k = min(int(k), len(view))
+        if k <= 0:
+            return np.empty(0, dtype=np.int64)
+        idx = sample_distinct(rng, len(view), k)
+        return view[idx]

@@ -1,0 +1,86 @@
+"""Message-transport model for the event-driven simulator.
+
+The analytical model abstracts the network away entirely (a gossip arc either
+exists or it does not), but the event-driven reference simulator and the
+baseline protocols benefit from an explicit transport with per-message
+latency and optional loss.  Keeping it in one small class also documents the
+substitution: the paper's MATLAB simulation had no network model either, so
+the default configuration (zero loss, unit latency) adds nothing beyond
+ordering events in time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_probability
+
+__all__ = ["NetworkModel", "latency_constant", "latency_uniform", "latency_exponential"]
+
+
+def latency_constant(value: float = 1.0) -> Callable[[np.random.Generator], float]:
+    """Return a latency sampler that always returns ``value``."""
+    if value < 0:
+        raise ValueError(f"latency must be >= 0, got {value!r}")
+    return lambda rng: value
+
+
+def latency_uniform(low: float, high: float) -> Callable[[np.random.Generator], float]:
+    """Return a latency sampler uniform on ``[low, high]``."""
+    if low < 0 or high < low:
+        raise ValueError(f"invalid latency range [{low}, {high}]")
+    return lambda rng: float(rng.uniform(low, high))
+
+
+def latency_exponential(mean: float) -> Callable[[np.random.Generator], float]:
+    """Return an exponentially distributed latency sampler with the given mean."""
+    if mean <= 0:
+        raise ValueError(f"mean latency must be > 0, got {mean!r}")
+    return lambda rng: float(rng.exponential(mean))
+
+
+@dataclass
+class NetworkModel:
+    """Point-to-point transport with latency and independent message loss.
+
+    Attributes
+    ----------
+    latency:
+        Callable drawing a delivery latency from an RNG.
+    loss_probability:
+        Probability that any given message is silently dropped.
+    messages_sent, messages_dropped:
+        Counters accumulated across :meth:`transmit` calls (reset with
+        :meth:`reset_counters`).
+    """
+
+    latency: Callable[[np.random.Generator], float] = field(default_factory=latency_constant)
+    loss_probability: float = 0.0
+    messages_sent: int = 0
+    messages_dropped: int = 0
+
+    def __post_init__(self):
+        self.loss_probability = check_probability("loss_probability", self.loss_probability)
+
+    def transmit(self, rng: np.random.Generator, deliver: Callable[[float], None]) -> bool:
+        """Transmit one message: maybe drop it, otherwise call ``deliver(latency)``.
+
+        Returns ``True`` if the message was delivered (scheduled), ``False``
+        if it was lost.
+        """
+        rng = as_generator(rng)
+        self.messages_sent += 1
+        if self.loss_probability > 0.0 and rng.random() < self.loss_probability:
+            self.messages_dropped += 1
+            return False
+        deliver(self.latency(rng))
+        return True
+
+    def reset_counters(self) -> None:
+        """Zero the message counters."""
+        self.messages_sent = 0
+        self.messages_dropped = 0

@@ -1,0 +1,106 @@
+"""Per-member state machine for the event-driven gossip simulator.
+
+The general gossip algorithm (the paper's Figure 1) is tiny, and so is the
+node state machine implementing it:
+
+* on first receipt of the message, draw a fanout ``f`` from the distribution,
+  select ``f`` targets from the membership view, and send the message;
+* on any later receipt, discard the duplicate;
+* a failed member never forwards (its crash timing decides whether it even
+  counts the receipt).
+
+The :class:`Member` class keeps the counters the metrics module aggregates
+(receipts, duplicates, forwards) so protocol-level statistics — not just the
+reliability ratio — are available from the event-driven runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simulation.failures import CrashTiming
+
+__all__ = ["Member"]
+
+
+@dataclass
+class Member:
+    """State of one multicast-group member during an event-driven execution.
+
+    Attributes
+    ----------
+    member_id:
+        Identifier in ``0..n-1``.
+    alive:
+        ``False`` if this member crashes during the execution.
+    crash_timing:
+        When the crash occurs relative to the first receipt (only meaningful
+        when ``alive`` is ``False``).
+    received:
+        ``True`` once the first copy of the message reached this member's
+        host.  Failed members with ``BEFORE_RECEIVE`` timing never set this.
+    delivered:
+        ``True`` when the member counts as having received the message for
+        reliability purposes (alive and received).
+    receipts, duplicates, forwards:
+        Message counters.
+    first_receipt_time:
+        Simulated time of the first receipt (``math.inf`` if never received).
+    """
+
+    member_id: int
+    alive: bool = True
+    crash_timing: CrashTiming = CrashTiming.BEFORE_RECEIVE
+    received: bool = False
+    delivered: bool = False
+    receipts: int = 0
+    duplicates: int = 0
+    forwards: int = 0
+    first_receipt_time: float = field(default=float("inf"))
+
+    def on_receive(self, now: float) -> bool:
+        """Record a message receipt; return ``True`` if the member should forward.
+
+        The return value implements the algorithm's "first time" guard plus
+        the fail-stop rules: only alive members that are receiving the message
+        for the first time forward it.
+        """
+        self.receipts += 1
+        if self.received:
+            self.duplicates += 1
+            return False
+        if not self.alive and self.crash_timing is CrashTiming.BEFORE_RECEIVE:
+            # The member crashed before the message arrived; the transport
+            # wasted a message but nothing is recorded at the member.
+            return False
+        self.received = True
+        self.first_receipt_time = now
+        if not self.alive:
+            # Crashed after receiving but before forwarding.
+            return False
+        self.delivered = True
+        return True
+
+    def record_forward(self, fanout: int) -> None:
+        """Record that this member forwarded the message to ``fanout`` targets."""
+        self.forwards += int(fanout)
+
+    @staticmethod
+    def build_group(
+        n: int, alive: np.ndarray, timing: np.ndarray
+    ) -> list["Member"]:
+        """Construct the member list for a failure pattern."""
+        members = []
+        for i in range(n):
+            members.append(
+                Member(
+                    member_id=i,
+                    alive=bool(alive[i]),
+                    crash_timing=timing[i]
+                    if isinstance(timing[i], CrashTiming)
+                    else CrashTiming.BEFORE_RECEIVE,
+                )
+            )
+        return members

@@ -1,0 +1,232 @@
+"""Monte-Carlo runner and parameter sweeps.
+
+This is the driver behind the paper's Figs. 4-5 protocol: "For each pair of
+{f, q}, we run our gossiping algorithm 20 times and report the average
+results of the reliability of gossiping."  :func:`estimate_reliability`
+handles one ``(distribution, q)`` pair; :func:`reliability_sweep` handles the
+full grid and returns a tidy result object the experiment drivers and
+benchmarks render into tables.
+
+Repetitions can optionally be fanned out over a process pool; worker inputs
+are plain picklable tuples of integers/floats so the pool never has to ship
+generator state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.distributions import FanoutDistribution, PoissonFanout
+from repro.core.reliability import reliability as analytical_reliability
+from repro.simulation.gossip import simulate_gossip_once
+from repro.simulation.membership import MembershipView
+from repro.simulation.metrics import ReliabilityEstimate, summarize_executions
+from repro.utils.parallel import parallel_map
+from repro.utils.rng import as_generator, spawn_seeds
+from repro.utils.validation import check_integer, check_probability
+
+__all__ = ["estimate_reliability", "reliability_sweep", "SweepResult", "SweepPoint"]
+
+
+def _run_one_replica(args) -> tuple[int, int, float, int, int, bool, bool]:
+    """Process-pool worker: run one execution and return flat metrics.
+
+    Returns ``(n_alive, n_reached_alive, reliability, rounds, messages,
+    success, spread)``.
+    """
+    n, distribution, q, source, seed = args
+    execution = simulate_gossip_once(n, distribution, q, source=source, seed=seed)
+    return (
+        execution.n_alive(),
+        execution.n_delivered(),
+        execution.reliability(),
+        execution.rounds,
+        execution.messages_sent,
+        execution.is_success(1.0),
+        execution.spread_occurred(),
+    )
+
+
+def estimate_reliability(
+    n: int,
+    distribution: FanoutDistribution,
+    q: float,
+    *,
+    repetitions: int = 20,
+    source: int = 0,
+    seed=None,
+    membership: MembershipView | None = None,
+    processes: int | None = 1,
+    conditional_on_spread: bool = False,
+) -> ReliabilityEstimate:
+    """Estimate ``R(q, P)`` by averaging ``repetitions`` independent executions.
+
+    Parameters
+    ----------
+    repetitions:
+        Number of independent executions (paper: 20 per parameter pair).
+    processes:
+        Worker processes.  The default of 1 keeps execution serial and
+        deterministic; values > 1 (or ``None`` for auto) parallelise across
+        repetitions — only allowed with the default full membership view
+        because partial views are not shipped to workers.
+    conditional_on_spread:
+        When True, average only over executions whose dissemination took off
+        (delivered more than ``max(10, sqrt(n))`` members).  Single
+        executions are bimodal — either the gossip dies out within a few hops
+        or it reaches ~R(q, P) of the group — and the paper's analytical
+        reliability (the giant-component size) corresponds to the conditional
+        branch; the Figs. 4-5 reproduction therefore enables this flag.  The
+        unconditional default reports the plain average, and ``spread_rate``
+        records how often the gossip took off either way.
+    """
+    n = check_integer("n", n, minimum=2)
+    q = check_probability("q", q)
+    repetitions = check_integer("repetitions", repetitions, minimum=1)
+
+    if membership is not None or (processes is not None and processes <= 1):
+        rng = as_generator(seed)
+        executions = [
+            simulate_gossip_once(
+                n, distribution, q, source=source, seed=rng, membership=membership
+            ).metrics()
+            for _ in range(repetitions)
+        ]
+        return summarize_executions(
+            executions,
+            n=n,
+            q=q,
+            mean_fanout=distribution.mean(),
+            conditional_on_spread=conditional_on_spread,
+        )
+
+    seeds = spawn_seeds(repetitions, seed)
+    work = [(n, distribution, q, source, s) for s in seeds]
+    rows = parallel_map(_run_one_replica, work, processes=processes)
+    from repro.simulation.metrics import ExecutionMetrics
+
+    executions = [
+        ExecutionMetrics(
+            n=n,
+            n_alive=row[0],
+            n_reached_alive=row[1],
+            reliability=row[2],
+            rounds=row[3],
+            messages_sent=row[4],
+            duplicates=0,
+            success=row[5],
+            spread=row[6],
+        )
+        for row in rows
+    ]
+    return summarize_executions(
+        executions,
+        n=n,
+        q=q,
+        mean_fanout=distribution.mean(),
+        conditional_on_spread=conditional_on_spread,
+    )
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of a reliability sweep: a ``(mean fanout, q)`` pair with results."""
+
+    mean_fanout: float
+    q: float
+    simulated: float
+    simulated_std: float
+    analytical: float
+    repetitions: int
+
+    def absolute_error(self) -> float:
+        """Return ``|simulated − analytical|``."""
+        return abs(self.simulated - self.analytical)
+
+
+@dataclass
+class SweepResult:
+    """Results of a full (fanout × q) reliability sweep.
+
+    The points are stored in row-major order (q varies slowest); accessors
+    return the per-``q`` series used to draw the paper's Figs. 4-5.
+    """
+
+    n: int
+    fanouts: tuple
+    qs: tuple
+    points: list = field(default_factory=list)
+
+    def series_for_q(self, q: float) -> list[SweepPoint]:
+        """Return the sweep points of one ``q`` series, ordered by fanout."""
+        matches = [p for p in self.points if abs(p.q - q) < 1e-12]
+        return sorted(matches, key=lambda p: p.mean_fanout)
+
+    def max_absolute_error(self) -> float:
+        """Return the worst analysis-vs-simulation gap across the sweep."""
+        return max((p.absolute_error() for p in self.points), default=0.0)
+
+    def mean_absolute_error(self) -> float:
+        """Return the average analysis-vs-simulation gap across the sweep."""
+        if not self.points:
+            return 0.0
+        return float(np.mean([p.absolute_error() for p in self.points]))
+
+    def to_rows(self) -> list[tuple]:
+        """Return ``(fanout, q, simulated, analytical, |error|)`` rows for tables."""
+        return [
+            (p.mean_fanout, p.q, p.simulated, p.analytical, p.absolute_error())
+            for p in self.points
+        ]
+
+
+def reliability_sweep(
+    n: int,
+    fanouts: Sequence[float],
+    qs: Sequence[float],
+    *,
+    repetitions: int = 20,
+    distribution_factory=PoissonFanout,
+    seed=None,
+    processes: int | None = 1,
+    conditional_on_spread: bool = False,
+) -> SweepResult:
+    """Sweep reliability over a (mean fanout × nonfailed ratio) grid.
+
+    This reproduces the Figs. 4-5 protocol.  ``distribution_factory`` maps a
+    mean fanout to a distribution instance (default Poisson); the analytical
+    column uses the same distribution so the comparison is apples-to-apples.
+    ``conditional_on_spread`` is forwarded to :func:`estimate_reliability`.
+    """
+    n = check_integer("n", n, minimum=2)
+    fanouts = tuple(float(f) for f in fanouts)
+    qs = tuple(float(check_probability("q", q)) for q in qs)
+    rng = as_generator(seed)
+
+    result = SweepResult(n=n, fanouts=fanouts, qs=qs)
+    for q in qs:
+        for fanout in fanouts:
+            dist = distribution_factory(fanout)
+            estimate = estimate_reliability(
+                n,
+                dist,
+                q,
+                repetitions=repetitions,
+                seed=rng if processes is not None and processes <= 1 else spawn_seeds(1, rng)[0],
+                processes=processes,
+                conditional_on_spread=conditional_on_spread,
+            )
+            result.points.append(
+                SweepPoint(
+                    mean_fanout=fanout,
+                    q=q,
+                    simulated=estimate.mean_reliability,
+                    simulated_std=estimate.std_reliability,
+                    analytical=analytical_reliability(dist, q),
+                    repetitions=repetitions,
+                )
+            )
+    return result

@@ -1,0 +1,58 @@
+"""Optional process-parallel map used by the Monte-Carlo runner.
+
+The simulator is fast enough that most experiments run serially, but large
+sweeps (n=5000, many (fanout, q) pairs, many replicas) benefit from using the
+available cores.  ``parallel_map`` degrades gracefully to a serial loop when
+``processes <= 1`` or when the work list is tiny, so tests and benchmarks can
+force deterministic serial execution.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_processes() -> int:
+    """Return a conservative default worker count (leave one core free)."""
+    cpus = os.cpu_count() or 1
+    return max(1, cpus - 1)
+
+
+def parallel_map(
+    func: Callable[[T], R],
+    items: Sequence[T] | Iterable[T],
+    *,
+    processes: int | None = None,
+    chunksize: int = 1,
+    serial_threshold: int = 4,
+) -> list[R]:
+    """Map ``func`` over ``items``, optionally across processes.
+
+    Parameters
+    ----------
+    func:
+        A picklable callable (module-level function or functools.partial of
+        one) applied to each item.
+    items:
+        Work items; converted to a list so the result order always matches.
+    processes:
+        Worker count.  ``None`` uses :func:`default_processes`; values <= 1
+        run serially in the calling process.
+    chunksize:
+        Forwarded to :meth:`ProcessPoolExecutor.map`.
+    serial_threshold:
+        Work lists at or below this size are run serially regardless of
+        ``processes`` — the pool start-up cost dominates for tiny batches.
+    """
+    items = list(items)
+    if processes is None:
+        processes = default_processes()
+    if processes <= 1 or len(items) <= serial_threshold:
+        return [func(item) for item in items]
+    with ProcessPoolExecutor(max_workers=processes) as pool:
+        return list(pool.map(func, items, chunksize=max(1, chunksize)))

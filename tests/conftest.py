@@ -1,0 +1,52 @@
+"""Shared pytest fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import (
+    BinomialFanout,
+    EmpiricalFanout,
+    FixedFanout,
+    GeometricFanout,
+    MixtureFanout,
+    PoissonFanout,
+    UniformFanout,
+    ZipfFanout,
+)
+
+#: Deterministic seed used by any test that needs a single reproducible stream.
+TEST_SEED = 20080149
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(TEST_SEED)
+
+
+@pytest.fixture
+def poisson4() -> PoissonFanout:
+    """The paper's favourite configuration: Poisson fanout with mean 4."""
+    return PoissonFanout(4.0)
+
+
+def all_distributions() -> list:
+    """One representative instance of every fanout distribution family."""
+    return [
+        PoissonFanout(3.0),
+        FixedFanout(3),
+        BinomialFanout(10, 0.3),
+        GeometricFanout.from_mean(3.0),
+        UniformFanout(1, 5),
+        ZipfFanout(2.0, 12),
+        EmpiricalFanout([0.1, 0.2, 0.3, 0.25, 0.15]),
+        MixtureFanout([FixedFanout(1), PoissonFanout(5.0)], [0.4, 0.6]),
+    ]
+
+
+@pytest.fixture(params=all_distributions(), ids=lambda d: d.name)
+def any_distribution(request):
+    """Parametrised fixture iterating over every distribution family."""
+    return request.param

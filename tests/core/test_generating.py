@@ -1,0 +1,156 @@
+"""Unit tests for the generating-function machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distributions import FixedFanout, GeometricFanout, PoissonFanout
+from repro.core.generating import (
+    GeneratingFunction,
+    GossipGeneratingFunctions,
+    build_generating_functions,
+)
+
+
+class TestGeneratingFunctionFromPMF:
+    def test_evaluation_matches_polynomial(self):
+        gf = GeneratingFunction.from_pmf([0.2, 0.3, 0.5])
+        x = 0.4
+        assert gf(x) == pytest.approx(0.2 + 0.3 * x + 0.5 * x**2)
+
+    def test_prime_matches_derivative(self):
+        gf = GeneratingFunction.from_pmf([0.2, 0.3, 0.5])
+        x = 0.7
+        assert gf.prime(x) == pytest.approx(0.3 + 1.0 * x)
+
+    def test_double_prime(self):
+        gf = GeneratingFunction.from_pmf([0.1, 0.2, 0.3, 0.4])
+        x = 0.5
+        assert gf.double_prime(x) == pytest.approx(2 * 0.3 + 6 * 0.4 * x)
+
+    def test_mean_and_normalisation(self):
+        gf = GeneratingFunction.from_pmf([0.5, 0.25, 0.25])
+        assert gf.normalisation() == pytest.approx(1.0)
+        assert gf.mean() == pytest.approx(0.75)
+
+    def test_scaled(self):
+        gf = GeneratingFunction.from_pmf([0.4, 0.6])
+        scaled = gf.scaled(0.5)
+        assert scaled(1.0) == pytest.approx(0.5)
+        assert scaled.prime(1.0) == pytest.approx(0.3)
+
+    def test_array_input(self):
+        gf = GeneratingFunction.from_pmf([0.5, 0.5])
+        xs = np.array([0.0, 0.5, 1.0])
+        np.testing.assert_allclose(gf(xs), [0.5, 0.75, 1.0])
+
+    def test_rejects_empty_pmf(self):
+        with pytest.raises(ValueError):
+            GeneratingFunction.from_pmf([])
+
+    def test_rejects_negative_pmf(self):
+        with pytest.raises(ValueError):
+            GeneratingFunction.from_pmf([0.5, -0.5, 1.0])
+
+    def test_requires_coefficients_or_callable(self):
+        with pytest.raises(ValueError):
+            GeneratingFunction()
+
+
+class TestGeneratingFunctionFromCallable:
+    def test_closed_form_evaluation(self):
+        dist = PoissonFanout(2.0)
+        gf = GeneratingFunction.from_distribution(dist)
+        assert gf(0.5) == pytest.approx(dist.g0(0.5))
+        assert gf.prime(0.5) == pytest.approx(dist.g0_prime(0.5))
+        assert gf.double_prime(0.5) == pytest.approx(dist.g0_double_prime(0.5))
+
+    def test_numeric_derivative_fallback(self):
+        gf = GeneratingFunction(func=lambda x: np.exp(2.0 * (np.asarray(x) - 1.0)))
+        # No derivative supplied: central differences should still be accurate.
+        assert gf.prime(1.0) == pytest.approx(2.0, rel=1e-4)
+
+    def test_scaled_callable(self):
+        dist = PoissonFanout(3.0)
+        gf = GeneratingFunction.from_distribution(dist).scaled(0.25)
+        assert gf(1.0) == pytest.approx(0.25)
+        assert gf.prime(1.0) == pytest.approx(0.75)
+
+
+class TestBuildGeneratingFunctions:
+    def test_f_functions_are_scaled_by_q(self):
+        gfs = build_generating_functions(PoissonFanout(4.0), 0.5)
+        assert gfs.f0(1.0) == pytest.approx(0.5)
+        assert gfs.f1(1.0) == pytest.approx(0.5)
+        assert gfs.g0(1.0) == pytest.approx(1.0)
+
+    def test_mean_fanout_recorded(self):
+        gfs = build_generating_functions(PoissonFanout(2.5), 0.8)
+        assert gfs.mean_fanout == pytest.approx(2.5)
+
+    def test_invalid_q_rejected(self):
+        with pytest.raises(ValueError):
+            build_generating_functions(PoissonFanout(2.0), 1.5)
+
+    def test_result_is_frozen(self):
+        gfs = build_generating_functions(PoissonFanout(2.0), 0.7)
+        with pytest.raises(AttributeError):
+            gfs.q = 0.3  # type: ignore[misc]
+
+
+class TestSelfConsistentU:
+    def test_subcritical_returns_one(self):
+        # z*q = 0.5 < 1: no giant component, u = 1.
+        gfs = build_generating_functions(PoissonFanout(1.0), 0.5)
+        assert gfs.self_consistent_u() == pytest.approx(1.0, abs=1e-6)
+
+    def test_supercritical_u_below_one(self):
+        gfs = build_generating_functions(PoissonFanout(4.0), 0.9)
+        u = gfs.self_consistent_u()
+        assert 0.0 <= u < 1.0
+
+    def test_u_satisfies_fixed_point_equation(self):
+        dist = PoissonFanout(3.0)
+        q = 0.8
+        gfs = build_generating_functions(dist, q)
+        u = gfs.self_consistent_u()
+        assert u == pytest.approx(1.0 - q + q * dist.g1(u), abs=1e-8)
+
+    def test_q_zero_returns_one(self):
+        gfs = build_generating_functions(PoissonFanout(3.0), 0.0)
+        assert gfs.self_consistent_u() == 1.0
+
+    def test_fixed_fanout_u(self):
+        dist = FixedFanout(3)
+        q = 0.9
+        gfs = build_generating_functions(dist, q)
+        u = gfs.self_consistent_u()
+        assert u == pytest.approx(1.0 - q + q * dist.g1(u), abs=1e-8)
+        assert u < 1.0
+
+    @given(
+        z=st.floats(min_value=0.2, max_value=10.0),
+        q=st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_u_always_in_unit_interval_and_consistent(self, z, q):
+        dist = PoissonFanout(z)
+        gfs = build_generating_functions(dist, q)
+        u = gfs.self_consistent_u()
+        assert 0.0 <= u <= 1.0
+        assert u == pytest.approx(1.0 - q + q * dist.g1(u), abs=1e-6)
+
+    @given(
+        q=st.floats(min_value=0.05, max_value=1.0),
+        prob=st.floats(min_value=0.1, max_value=0.9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_geometric_u_consistent(self, q, prob):
+        dist = GeometricFanout(prob)
+        gfs = build_generating_functions(dist, q)
+        u = gfs.self_consistent_u()
+        assert 0.0 <= u <= 1.0
+        assert u == pytest.approx(1.0 - q + q * float(dist.g1(u)), abs=1e-5)

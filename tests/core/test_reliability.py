@@ -1,0 +1,117 @@
+"""Unit tests for the reliability API (R(q, P) and design inverses)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import FixedFanout, GeometricFanout, PoissonFanout
+from repro.core.poisson_case import poisson_reliability
+from repro.core.reliability import (
+    ReliabilityModel,
+    reliability,
+    reliability_curve,
+    required_fanout_poisson,
+)
+
+
+class TestReliabilityFunction:
+    def test_poisson_uses_closed_form(self):
+        assert reliability(PoissonFanout(4.0), 0.9) == pytest.approx(
+            poisson_reliability(4.0, 0.9), abs=1e-12
+        )
+
+    def test_generic_distribution(self):
+        value = reliability(FixedFanout(4), 0.9)
+        assert 0.9 < value <= 1.0
+
+    def test_subcritical_is_zero(self):
+        assert reliability(PoissonFanout(1.0), 0.5) == pytest.approx(0.0, abs=1e-6)
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            reliability(PoissonFanout(2.0), -0.1)
+
+
+class TestReliabilityCurve:
+    def test_default_poisson_curve(self):
+        fanouts = [0.5, 1.0, 2.0, 4.0]
+        curve = reliability_curve(fanouts, 0.9)
+        assert curve.shape == (4,)
+        assert curve[0] == 0.0  # below threshold
+        assert curve[-1] == pytest.approx(poisson_reliability(4.0, 0.9))
+
+    def test_non_positive_fanouts_yield_zero(self):
+        curve = reliability_curve([0.0, -1.0, 3.0], 0.8)
+        assert curve[0] == 0.0 and curve[1] == 0.0 and curve[2] > 0.0
+
+    def test_alternative_distribution_factory(self):
+        curve = reliability_curve([3.0], 0.9, distribution_factory=GeometricFanout.from_mean)
+        assert 0.0 < curve[0] < 1.0
+        assert curve[0] != pytest.approx(poisson_reliability(3.0, 0.9), abs=1e-3)
+
+    def test_curve_is_monotone(self):
+        curve = reliability_curve(np.arange(1.0, 8.0, 0.5), 0.7)
+        assert np.all(np.diff(curve) >= -1e-9)
+
+
+class TestRequiredFanout:
+    def test_matches_eq12(self):
+        assert required_fanout_poisson(0.9, 0.8) == pytest.approx(
+            -np.log(0.1) / (0.8 * 0.9), rel=1e-9
+        )
+
+    def test_round_trip(self):
+        z = required_fanout_poisson(0.95, 0.6)
+        assert poisson_reliability(z, 0.6) == pytest.approx(0.95, abs=1e-9)
+
+
+class TestReliabilityModel:
+    def test_critical_ratio_delegates(self):
+        model = ReliabilityModel(PoissonFanout(4.0))
+        assert model.critical_ratio() == pytest.approx(0.25)
+
+    def test_reliability_cached_and_correct(self):
+        model = ReliabilityModel(PoissonFanout(4.0))
+        first = model.reliability(0.9)
+        second = model.reliability(0.9)
+        assert first == second == pytest.approx(poisson_reliability(4.0, 0.9))
+
+    def test_profile_matches_pointwise(self):
+        model = ReliabilityModel(PoissonFanout(3.0))
+        qs = [0.3, 0.5, 0.9]
+        profile = model.reliability_profile(qs)
+        for q, value in zip(qs, profile):
+            assert value == pytest.approx(model.reliability(q))
+
+    def test_analysis_record(self):
+        model = ReliabilityModel(PoissonFanout(5.0))
+        record = model.analysis(0.5)
+        assert record.supercritical
+        assert record.giant_component_size == pytest.approx(model.reliability(0.5), abs=1e-9)
+
+    def test_tolerable_failure_ratio_consistency(self):
+        model = ReliabilityModel(PoissonFanout(4.0))
+        target = 0.9
+        max_failures = model.tolerable_failure_ratio(target)
+        assert 0.0 < max_failures < 1.0
+        q_min = 1.0 - max_failures
+        # At the boundary the reliability meets the target; slightly beyond it fails.
+        assert model.reliability(q_min) >= target - 1e-3
+        assert model.reliability(max(q_min - 0.05, 0.0)) < target
+
+    def test_tolerable_failure_ratio_unreachable_target(self):
+        # Mean fanout 1.2 cannot reach 0.99 reliability even with q = 1.
+        model = ReliabilityModel(PoissonFanout(1.2))
+        assert model.tolerable_failure_ratio(0.99) == 0.0
+
+    def test_tolerable_failure_ratio_monotone_in_target(self):
+        model = ReliabilityModel(PoissonFanout(5.0))
+        loose = model.tolerable_failure_ratio(0.5)
+        strict = model.tolerable_failure_ratio(0.95)
+        assert loose > strict
+
+    def test_invalid_target(self):
+        model = ReliabilityModel(PoissonFanout(3.0))
+        with pytest.raises(ValueError):
+            model.tolerable_failure_ratio(1.0)

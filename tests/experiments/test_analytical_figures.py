@@ -1,0 +1,71 @@
+"""Tests for the analytical experiments (Figs. 2 and 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig2_mean_fanout import Fig2Config, run_fig2
+from repro.experiments.fig3_min_executions import Fig3Config, run_fig3
+
+
+class TestFig2:
+    def test_default_run_has_paper_shape(self):
+        result = run_fig2()
+        assert result.check_shape() == []
+
+    def test_series_structure(self):
+        config = Fig2Config(points=10)
+        result = run_fig2(config)
+        assert result.reliabilities.shape == (10,)
+        assert set(result.fanouts_by_q) == set(config.qs)
+        for curve in result.fanouts_by_q.values():
+            assert curve.shape == (10,)
+            assert np.all(curve > 0)
+
+    def test_fanout_range_matches_paper(self):
+        # The paper's Fig. 2 y-axis reaches ~45-50 at S=0.9999 for q=0.2.
+        result = run_fig2()
+        q02 = result.fanouts_by_q[0.2]
+        assert q02[-1] > 40.0
+        q10 = result.fanouts_by_q[1.0]
+        assert q10[-1] < 10.0
+
+    def test_to_table_renders_all_columns(self):
+        result = run_fig2(Fig2Config(points=5))
+        table = result.to_table()
+        assert "z(q=0.2)" in table.splitlines()[0]
+        assert len(table.splitlines()) == 2 + 5
+
+    def test_custom_q_grid(self):
+        config = Fig2Config(qs=(0.5, 1.0), points=8)
+        result = run_fig2(config)
+        assert set(result.fanouts_by_q) == {0.5, 1.0}
+        assert result.check_shape() == []
+
+
+class TestFig3:
+    def test_default_run_has_paper_shape(self):
+        result = run_fig3()
+        assert result.check_shape() == []
+
+    def test_endpoints_match_equation_6(self):
+        result = run_fig3(Fig3Config(points=5))
+        # At the lowest reliability in the grid many executions are needed;
+        # at the highest only 1-2 are.
+        assert result.min_executions[0] >= result.min_executions[-1]
+        assert result.min_executions[-1] <= 2
+
+    def test_paper_anchor_values(self):
+        result = run_fig3(Fig3Config(reliability_min=0.3, reliability_max=0.967, points=2))
+        # S = 0.3 needs ~20 executions for p_s = 0.999; S = 0.967 needs 3.
+        assert result.min_executions[0] == 20
+        assert result.min_executions[1] == 3
+
+    def test_to_table(self):
+        result = run_fig3(Fig3Config(points=4))
+        assert len(result.to_table().splitlines()) == 2 + 4
+
+    def test_invalid_requirement(self):
+        with pytest.raises(ValueError):
+            Fig3Config(required_success=1.0)

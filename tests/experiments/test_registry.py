@@ -1,0 +1,38 @@
+"""Tests for the experiment registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import get_experiment, list_experiments
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        ids = [spec.experiment_id for spec in list_experiments()]
+        assert ids == ["fig2", "fig3", "fig4", "fig5", "fig6", "fig7"]
+
+    def test_analytical_flags(self):
+        assert get_experiment("fig2").analytical_only
+        assert get_experiment("fig3").analytical_only
+        assert not get_experiment("fig4").analytical_only
+        assert not get_experiment("fig6").analytical_only
+
+    def test_config_factories_produce_defaults(self):
+        spec = get_experiment("fig4")
+        config = spec.config_factory()
+        assert config.n == 1000
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="fig9"):
+            get_experiment("fig9")
+
+    def test_analytical_runners_execute(self):
+        for experiment_id in ("fig2", "fig3"):
+            spec = get_experiment(experiment_id)
+            result = spec.runner(spec.config_factory())
+            assert result.check_shape() == []
+
+    def test_paper_references_present(self):
+        for spec in list_experiments():
+            assert spec.paper_reference.startswith("Fig")

@@ -1,0 +1,77 @@
+"""Tests for the success-of-gossiping figures (Figs. 6-7 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.poisson_case import poisson_reliability
+from repro.experiments.fig6_success_f4_q09 import Fig6Config, run_fig6
+from repro.experiments.fig7_success_f6_q06 import Fig7Config
+from repro.experiments.success_figures import SuccessFigureConfig, run_success_figure
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        fig6 = Fig6Config()
+        fig7 = Fig7Config()
+        assert fig6.n == fig7.n == 2000
+        assert fig6.executions == fig7.executions == 20
+        assert fig6.simulations == fig7.simulations == 100
+        assert (fig6.mean_fanout, fig6.q) == (4.0, 0.9)
+        assert (fig7.mean_fanout, fig7.q) == (6.0, 0.6)
+
+    def test_equal_product_means_equal_analytical_reliability(self):
+        fig6 = Fig6Config()
+        fig7 = Fig7Config()
+        assert fig6.mean_fanout * fig6.q == pytest.approx(fig7.mean_fanout * fig7.q)
+        assert poisson_reliability(fig6.mean_fanout, fig6.q) == pytest.approx(
+            poisson_reliability(fig7.mean_fanout, fig7.q)
+        )
+
+    def test_scaled_copy(self):
+        small = Fig6Config().scaled(n=200, simulations=10)
+        assert small.n == 200
+        assert small.simulations == 10
+        assert small.mean_fanout == 4.0 and small.q == 0.9
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            SuccessFigureConfig(n=1)
+        with pytest.raises(ValueError):
+            SuccessFigureConfig(required_success=1.0)
+        with pytest.raises(ValueError):
+            SuccessFigureConfig(q=1.2)
+
+
+class TestScaledRun:
+    @pytest.fixture(scope="class")
+    def small_result(self):
+        return run_success_figure(SuccessFigureConfig(n=500, simulations=40, seed=5))
+
+    def test_counts_structure(self, small_result):
+        assert small_result.counts.counts.shape == (40,)
+        assert small_result.counts.executions == 20
+        assert small_result.counts.empirical_pmf.sum() == pytest.approx(1.0)
+
+    def test_qualitative_shape(self, small_result):
+        assert small_result.check_shape() == []
+
+    def test_required_executions_matches_equation_6(self, small_result):
+        from repro.core.success import min_executions
+
+        expected = min_executions(0.999, small_result.counts.analytical_reliability)
+        assert small_result.required_executions == expected
+        assert small_result.required_executions <= 3
+
+    def test_fit_close_to_analytical(self, small_result):
+        assert small_result.fit.absolute_difference < 0.06
+
+    def test_table_rendering(self, small_result):
+        table = small_result.to_table()
+        assert len(table.splitlines()) == 2 + 21
+
+    def test_fig6_runner_scaled(self):
+        result = run_fig6(Fig6Config().scaled(n=300, simulations=15))  # type: ignore[arg-type]
+        assert result.config.n == 300
+        assert result.counts.simulations == 15

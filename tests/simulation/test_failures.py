@@ -1,0 +1,79 @@
+"""Unit tests for failure models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.failures import (
+    CrashTiming,
+    TargetedCrashModel,
+    UniformCrashModel,
+)
+
+
+class TestUniformCrashModel:
+    def test_source_never_fails(self, rng):
+        model = UniformCrashModel(q=0.0)
+        pattern = model.draw(50, rng, source=3)
+        assert pattern.alive[3]
+        assert pattern.n_alive() == 1
+
+    def test_alive_fraction_close_to_q(self, rng):
+        model = UniformCrashModel(q=0.7)
+        pattern = model.draw(20_000, rng)
+        assert pattern.n_alive() / 20_000 == pytest.approx(0.7, abs=0.02)
+
+    def test_q_one_all_alive(self, rng):
+        pattern = UniformCrashModel(q=1.0).draw(100, rng)
+        assert pattern.n_alive() == 100
+        assert pattern.failed_members().size == 0
+
+    def test_timing_assigned_to_every_member(self, rng):
+        pattern = UniformCrashModel(q=0.5, after_receive_fraction=1.0).draw(30, rng)
+        assert all(t is CrashTiming.AFTER_RECEIVE for t in pattern.timing)
+
+    def test_timing_fraction_zero(self, rng):
+        pattern = UniformCrashModel(q=0.5, after_receive_fraction=0.0).draw(30, rng)
+        assert all(t is CrashTiming.BEFORE_RECEIVE for t in pattern.timing)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            UniformCrashModel(q=-0.1)
+        with pytest.raises(ValueError):
+            UniformCrashModel(q=0.5, after_receive_fraction=2.0)
+
+    def test_invalid_group_and_source(self, rng):
+        model = UniformCrashModel(q=0.5)
+        with pytest.raises(ValueError):
+            model.draw(0, rng)
+        with pytest.raises(ValueError):
+            model.draw(10, rng, source=10)
+
+    def test_failed_members_listing(self, rng):
+        pattern = UniformCrashModel(q=0.3).draw(200, rng)
+        failed = pattern.failed_members()
+        assert np.all(~pattern.alive[failed])
+        assert failed.size + pattern.n_alive() == 200
+
+
+class TestTargetedCrashModel:
+    def test_exact_members_fail(self, rng):
+        model = TargetedCrashModel(failed=(2, 5, 7))
+        pattern = model.draw(10, rng)
+        assert set(pattern.failed_members().tolist()) == {2, 5, 7}
+
+    def test_source_protected(self, rng):
+        model = TargetedCrashModel(failed=(0, 1))
+        pattern = model.draw(10, rng, source=0)
+        assert pattern.alive[0]
+        assert not pattern.alive[1]
+
+    def test_out_of_range_ignored(self, rng):
+        model = TargetedCrashModel(failed=(50,))
+        pattern = model.draw(10, rng)
+        assert pattern.n_alive() == 10
+
+    def test_empty_failure_set(self, rng):
+        pattern = TargetedCrashModel(failed=()).draw(5, rng)
+        assert pattern.n_alive() == 5

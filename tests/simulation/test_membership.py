@@ -1,0 +1,134 @@
+"""Unit tests for membership views and distinct-target sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.membership import FullView, UniformPartialView, sample_distinct
+
+
+class TestSampleDistinct:
+    def test_returns_distinct_values(self, rng):
+        sample = sample_distinct(rng, 100, 10)
+        assert len(np.unique(sample)) == 10
+
+    def test_excludes_given_member(self, rng):
+        for _ in range(50):
+            sample = sample_distinct(rng, 10, 5, exclude=3)
+            assert 3 not in sample
+
+    def test_truncates_to_population(self, rng):
+        sample = sample_distinct(rng, 5, 10, exclude=0)
+        assert len(sample) == 4
+        assert set(sample.tolist()) == {1, 2, 3, 4}
+
+    def test_zero_k(self, rng):
+        assert sample_distinct(rng, 10, 0).shape == (0,)
+
+    def test_empty_population(self, rng):
+        assert sample_distinct(rng, 0, 3).shape == (0,)
+
+    def test_population_of_one_with_exclusion(self, rng):
+        assert sample_distinct(rng, 1, 1, exclude=0).shape == (0,)
+
+    def test_uniformity(self, rng):
+        # Each of the 4 non-excluded members should be picked ~ equally often.
+        counts = np.zeros(5)
+        for _ in range(4000):
+            picks = sample_distinct(rng, 5, 1, exclude=0)
+            counts[picks[0]] += 1
+        assert counts[0] == 0
+        assert np.all(np.abs(counts[1:] / 4000 - 0.25) < 0.04)
+
+    @given(
+        population=st.integers(min_value=1, max_value=60),
+        k=st.integers(min_value=0, max_value=70),
+        exclude=st.integers(min_value=0, max_value=59),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_distinct_in_range_excluding(self, population, k, exclude, seed):
+        rng = np.random.default_rng(seed)
+        exclude = exclude % population
+        sample = sample_distinct(rng, population, k, exclude=exclude)
+        assert len(sample) == min(k, population - 1)
+        assert len(np.unique(sample)) == len(sample)
+        if sample.size:
+            assert sample.min() >= 0 and sample.max() < population
+            assert exclude not in sample
+
+
+class TestFullView:
+    def test_view_excludes_self(self):
+        view = FullView(5)
+        assert set(view.view_of(2).tolist()) == {0, 1, 3, 4}
+        assert view.view_size(2) == 4
+
+    def test_sample_targets_distinct_and_exclude_self(self, rng):
+        view = FullView(20)
+        targets = view.sample_targets(4, 6, rng)
+        assert len(targets) == 6
+        assert len(np.unique(targets)) == 6
+        assert 4 not in targets
+
+    def test_sample_more_than_available(self, rng):
+        view = FullView(4)
+        targets = view.sample_targets(0, 10, rng)
+        assert set(targets.tolist()) == {1, 2, 3}
+
+    def test_invalid_member(self, rng):
+        view = FullView(3)
+        with pytest.raises(ValueError):
+            view.view_of(3)
+        with pytest.raises(ValueError):
+            view.sample_targets(-1, 1, rng)
+
+    def test_reset_is_noop(self):
+        view = FullView(5)
+        before = view.view_of(0).copy()
+        view.reset(seed=1)
+        np.testing.assert_array_equal(before, view.view_of(0))
+
+
+class TestUniformPartialView:
+    def test_view_size_respected(self):
+        view = UniformPartialView(50, 8, seed=1)
+        for member in range(50):
+            assert view.view_size(member) == 8
+            assert member not in view.view_of(member)
+
+    def test_view_size_capped_at_group(self):
+        view = UniformPartialView(5, 100, seed=2)
+        assert view.view_size(0) == 4
+
+    def test_sampling_stays_within_view(self, rng):
+        view = UniformPartialView(40, 6, seed=3)
+        for member in (0, 7, 39):
+            targets = view.sample_targets(member, 4, rng)
+            assert set(targets.tolist()) <= set(view.view_of(member).tolist())
+            assert len(np.unique(targets)) == len(targets)
+
+    def test_sample_more_than_view(self, rng):
+        view = UniformPartialView(30, 3, seed=4)
+        targets = view.sample_targets(5, 10, rng)
+        assert len(targets) == 3
+
+    def test_reset_changes_views(self):
+        view = UniformPartialView(100, 5, seed=5)
+        before = view.view_of(0).copy()
+        view.reset(seed=6)
+        after = view.view_of(0)
+        assert not np.array_equal(before, after)
+
+    def test_deterministic_for_seed(self):
+        a = UniformPartialView(60, 7, seed=8)
+        b = UniformPartialView(60, 7, seed=8)
+        for member in range(0, 60, 13):
+            np.testing.assert_array_equal(a.view_of(member), b.view_of(member))
+
+    def test_invalid_view_size(self):
+        with pytest.raises(ValueError):
+            UniformPartialView(10, 0)

@@ -1,0 +1,85 @@
+"""Unit tests for the network transport model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.network import (
+    NetworkModel,
+    latency_constant,
+    latency_exponential,
+    latency_uniform,
+)
+
+
+class TestLatencySamplers:
+    def test_constant(self, rng):
+        sampler = latency_constant(2.5)
+        assert sampler(rng) == 2.5
+
+    def test_constant_rejects_negative(self):
+        with pytest.raises(ValueError):
+            latency_constant(-1.0)
+
+    def test_uniform_range(self, rng):
+        sampler = latency_uniform(1.0, 2.0)
+        values = [sampler(rng) for _ in range(200)]
+        assert all(1.0 <= v <= 2.0 for v in values)
+
+    def test_uniform_invalid_range(self):
+        with pytest.raises(ValueError):
+            latency_uniform(2.0, 1.0)
+        with pytest.raises(ValueError):
+            latency_uniform(-1.0, 1.0)
+
+    def test_exponential_mean(self, rng):
+        sampler = latency_exponential(3.0)
+        values = np.array([sampler(rng) for _ in range(5000)])
+        assert values.mean() == pytest.approx(3.0, rel=0.1)
+        assert np.all(values >= 0)
+
+    def test_exponential_invalid_mean(self):
+        with pytest.raises(ValueError):
+            latency_exponential(0.0)
+
+
+class TestNetworkModel:
+    def test_default_delivers_everything(self, rng):
+        net = NetworkModel()
+        delivered = []
+        for _ in range(20):
+            net.transmit(rng, lambda latency: delivered.append(latency))
+        assert len(delivered) == 20
+        assert net.messages_sent == 20
+        assert net.messages_dropped == 0
+
+    def test_full_loss_drops_everything(self, rng):
+        net = NetworkModel(loss_probability=1.0)
+        delivered = []
+        for _ in range(10):
+            assert not net.transmit(rng, lambda latency: delivered.append(latency))
+        assert delivered == []
+        assert net.messages_dropped == 10
+
+    def test_partial_loss_rate(self, rng):
+        net = NetworkModel(loss_probability=0.3)
+        outcomes = [net.transmit(rng, lambda latency: None) for _ in range(10_000)]
+        assert np.mean(outcomes) == pytest.approx(0.7, abs=0.03)
+
+    def test_reset_counters(self, rng):
+        net = NetworkModel()
+        net.transmit(rng, lambda latency: None)
+        net.reset_counters()
+        assert net.messages_sent == 0
+        assert net.messages_dropped == 0
+
+    def test_invalid_loss_probability(self):
+        with pytest.raises(ValueError):
+            NetworkModel(loss_probability=1.5)
+
+    def test_latency_passed_to_deliver(self, rng):
+        net = NetworkModel(latency=latency_constant(4.0))
+        seen = []
+        net.transmit(rng, seen.append)
+        assert seen == [4.0]

@@ -1,0 +1,62 @@
+"""Unit tests for the member state machine."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.simulation.failures import CrashTiming
+from repro.simulation.node import Member
+
+
+class TestReceiveLogic:
+    def test_first_receipt_forwards(self):
+        member = Member(member_id=1)
+        assert member.on_receive(2.0)
+        assert member.delivered
+        assert member.first_receipt_time == 2.0
+
+    def test_duplicate_does_not_forward(self):
+        member = Member(member_id=1)
+        member.on_receive(1.0)
+        assert not member.on_receive(2.0)
+        assert member.duplicates == 1
+        assert member.receipts == 2
+        assert member.first_receipt_time == 1.0
+
+    def test_crash_before_receive_ignores_message(self):
+        member = Member(member_id=2, alive=False, crash_timing=CrashTiming.BEFORE_RECEIVE)
+        assert not member.on_receive(1.0)
+        assert not member.received
+        assert not member.delivered
+        assert math.isinf(member.first_receipt_time)
+
+    def test_crash_after_receive_records_but_does_not_forward_or_deliver(self):
+        member = Member(member_id=3, alive=False, crash_timing=CrashTiming.AFTER_RECEIVE)
+        assert not member.on_receive(1.0)
+        assert member.received
+        assert not member.delivered
+
+    def test_record_forward_accumulates(self):
+        member = Member(member_id=4)
+        member.record_forward(3)
+        member.record_forward(2)
+        assert member.forwards == 5
+
+
+class TestBuildGroup:
+    def test_group_respects_alive_and_timing(self):
+        alive = np.array([True, False, False])
+        timing = np.array(
+            [CrashTiming.BEFORE_RECEIVE, CrashTiming.AFTER_RECEIVE, CrashTiming.BEFORE_RECEIVE],
+            dtype=object,
+        )
+        members = Member.build_group(3, alive, timing)
+        assert len(members) == 3
+        assert members[0].alive and not members[1].alive
+        assert members[1].crash_timing is CrashTiming.AFTER_RECEIVE
+
+    def test_non_crashtiming_entries_default(self):
+        members = Member.build_group(2, np.array([True, True]), np.array([None, None], dtype=object))
+        assert all(m.crash_timing is CrashTiming.BEFORE_RECEIVE for m in members)

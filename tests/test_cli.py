@@ -1,0 +1,89 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_analyze_defaults(self):
+        args = build_parser().parse_args(["analyze"])
+        assert args.command == "analyze"
+        assert args.members == 1000
+        assert args.fanout == 4.0
+        assert args.alive_ratio == 0.9
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "fig3"])
+        assert args.figure == "fig3"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestAnalyze:
+    def test_prints_reliability(self, capsys):
+        assert main(["analyze", "-n", "500", "-f", "4.0", "-q", "0.9"]) == 0
+        out = capsys.readouterr().out
+        assert "reliability R(q, P)" in out
+        assert "0.96" in out or "0.97" in out
+
+    def test_subcritical_configuration(self, capsys):
+        assert main(["analyze", "-f", "1.0", "-q", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "unreachable" in out
+
+    def test_other_families(self, capsys):
+        for family in ("fixed", "geometric", "uniform"):
+            assert main(["analyze", "--family", family, "-f", "4.0", "-q", "0.9"]) == 0
+        assert "reliability" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_runs_and_reports(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "-n",
+                "300",
+                "-f",
+                "4.0",
+                "-q",
+                "0.9",
+                "--repetitions",
+                "4",
+                "--seed",
+                "1",
+                "--conditional",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simulated reliability" in out
+        assert "take-off rate" in out
+
+
+class TestDesign:
+    def test_reports_fanout_and_repeats(self, capsys):
+        assert main(["design", "--reliability", "0.99", "--max-failed", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "required mean fanout" in out
+        assert "required executions" in out
+
+
+class TestExperiment:
+    def test_analytical_figures_run(self, capsys):
+        assert main(["experiment", "fig2"]) == 0
+        assert main(["experiment", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "qualitative shape: OK" in out
+
+    def test_scaled_simulation_figure(self, capsys):
+        assert main(["experiment", "fig6", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 6" in out or "fig6" in out

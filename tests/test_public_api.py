@@ -1,0 +1,47 @@
+"""Tests of the package-level public API surface."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            assert hasattr(repro, name), f"repro.__all__ lists {name} but it is not importable"
+
+    def test_subpackages_importable(self):
+        for module in (
+            "repro.core",
+            "repro.graphs",
+            "repro.simulation",
+            "repro.protocols",
+            "repro.analysis",
+            "repro.experiments",
+            "repro.utils",
+            "repro.cli",
+        ):
+            assert importlib.import_module(module) is not None
+
+    def test_headline_workflow_via_top_level_names(self):
+        model = repro.GossipModel(n=200, distribution=repro.PoissonFanout(4.0), q=0.9)
+        assert model.reliability() == pytest.approx(repro.poisson_reliability(4.0, 0.9))
+        assert repro.min_executions(0.999, 0.967) == 3
+        assert repro.critical_ratio(repro.PoissonFanout(4.0)) == pytest.approx(0.25)
+
+    def test_docstrings_on_public_callables(self):
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            obj = getattr(repro, name)
+            assert getattr(obj, "__doc__", None), f"{name} is missing a docstring"

@@ -1,0 +1,34 @@
+"""Unit tests for the parallel-map helper."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.utils.parallel import default_processes, parallel_map
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial_path_preserves_order(self):
+        assert parallel_map(square, range(6), processes=1) == [0, 1, 4, 9, 16, 25]
+
+    def test_small_batches_run_serially_even_with_workers(self):
+        assert parallel_map(square, [2, 3], processes=8) == [4, 9]
+
+    def test_parallel_path_matches_serial(self):
+        items = list(range(12))
+        serial = parallel_map(square, items, processes=1)
+        parallel = parallel_map(square, items, processes=2, serial_threshold=0)
+        assert serial == parallel
+
+    def test_empty_input(self):
+        assert parallel_map(square, [], processes=4) == []
+
+    def test_default_processes_positive(self):
+        assert default_processes() >= 1
+        assert default_processes() <= (os.cpu_count() or 1)
