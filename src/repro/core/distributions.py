@@ -39,6 +39,7 @@ from repro.utils.validation import (
     check_non_negative,
     check_positive,
     check_probability,
+    check_sample_shape,
 )
 
 __all__ = [
@@ -115,8 +116,14 @@ class FanoutDistribution(ABC):
 
     # ----------------------------------------------------------- sampling
     @abstractmethod
-    def sample(self, size: int, seed=None) -> np.ndarray:
-        """Draw ``size`` fanout values as an ``int64`` array."""
+    def sample(self, size: int | tuple[int, ...], seed=None) -> np.ndarray:
+        """Draw fanout values as an ``int64`` array of shape ``size``.
+
+        ``size`` may be a scalar count (the batched engine draws one flat
+        vector per gossip round, covering every active replica member) or a
+        shape tuple for ensemble workloads that want e.g. a
+        ``(replicas, members)`` matrix in one call.
+        """
 
     # ----------------------------------------------- generating functions
     def g0(self, x) -> np.ndarray | float:
@@ -226,7 +233,7 @@ class PoissonFanout(FanoutDistribution):
         return self.mean_fanout**2
 
     def sample(self, size: int, seed=None) -> np.ndarray:
-        size = check_integer("size", size, minimum=0)
+        size = check_sample_shape("size", size)
         rng = as_generator(seed)
         return rng.poisson(self.mean_fanout, size=size).astype(np.int64)
 
@@ -296,7 +303,7 @@ class FixedFanout(FanoutDistribution):
         return float(self.fanout * (self.fanout - 1))
 
     def sample(self, size: int, seed=None) -> np.ndarray:
-        size = check_integer("size", size, minimum=0)
+        size = check_sample_shape("size", size)
         return np.full(size, self.fanout, dtype=np.int64)
 
     def describe(self) -> dict:
@@ -332,7 +339,7 @@ class BinomialFanout(FanoutDistribution):
         return self.trials * self.prob * (1.0 - self.prob)
 
     def sample(self, size: int, seed=None) -> np.ndarray:
-        size = check_integer("size", size, minimum=0)
+        size = check_sample_shape("size", size)
         rng = as_generator(seed)
         return rng.binomial(self.trials, self.prob, size=size).astype(np.int64)
 
@@ -377,7 +384,7 @@ class GeometricFanout(FanoutDistribution):
         return (1.0 - self.prob) / self.prob**2
 
     def sample(self, size: int, seed=None) -> np.ndarray:
-        size = check_integer("size", size, minimum=0)
+        size = check_sample_shape("size", size)
         rng = as_generator(seed)
         # numpy's geometric counts trials until first success (support >= 1);
         # shift to the number of failures to get support {0, 1, ...}.
@@ -415,7 +422,7 @@ class UniformFanout(FanoutDistribution):
         return (width**2 - 1) / 12.0
 
     def sample(self, size: int, seed=None) -> np.ndarray:
-        size = check_integer("size", size, minimum=0)
+        size = check_sample_shape("size", size)
         rng = as_generator(seed)
         return rng.integers(self.low, self.high + 1, size=size, dtype=np.int64)
 
@@ -456,7 +463,7 @@ class ZipfFanout(FanoutDistribution):
         return float(np.sum(k * self._pmf_tail))
 
     def sample(self, size: int, seed=None) -> np.ndarray:
-        size = check_integer("size", size, minimum=0)
+        size = check_sample_shape("size", size)
         rng = as_generator(seed)
         return rng.choice(
             np.arange(1, self.k_max + 1, dtype=np.int64), size=size, p=self._pmf_tail
@@ -513,7 +520,7 @@ class EmpiricalFanout(FanoutDistribution):
         return float(np.sum(k * self._pmf))
 
     def sample(self, size: int, seed=None) -> np.ndarray:
-        size = check_integer("size", size, minimum=0)
+        size = check_sample_shape("size", size)
         rng = as_generator(seed)
         return rng.choice(np.arange(len(self._pmf), dtype=np.int64), size=size, p=self._pmf)
 
@@ -559,7 +566,7 @@ class MixtureFanout(FanoutDistribution):
         return float(sum(w * c.mean() for w, c in zip(self.weights, self.components)))
 
     def sample(self, size: int, seed=None) -> np.ndarray:
-        size = check_integer("size", size, minimum=0)
+        size = check_sample_shape("size", size)
         rng = as_generator(seed)
         choices = rng.choice(len(self.components), size=size, p=self.weights)
         out = np.zeros(size, dtype=np.int64)

@@ -17,7 +17,7 @@ from repro.analysis.compare import SeriesComparison, compare_sweep
 from repro.analysis.tables import comparison_to_table, sweep_to_table
 from repro.core.poisson_case import poisson_critical_fanout
 from repro.simulation.runner import SweepResult, reliability_sweep
-from repro.utils.validation import check_integer
+from repro.utils.validation import check_choice, check_integer
 
 __all__ = ["ReliabilityFigureConfig", "ReliabilityFigureResult", "run_reliability_figure", "paper_fanout_grid"]
 
@@ -48,6 +48,12 @@ class ReliabilityFigureConfig:
         :func:`repro.simulation.runner.estimate_reliability`.
     seed:
         Base seed for reproducibility.
+    engine:
+        Simulation engine: ``"batch"`` (default, replica-parallel) or
+        ``"scalar"`` (per-replica reference).
+    processes:
+        Worker processes for chunked replica batches (1 = serial,
+        deterministic; ``None`` = auto).
     """
 
     n: int
@@ -57,10 +63,13 @@ class ReliabilityFigureConfig:
     repetitions: int = 20
     conditional_on_spread: bool = True
     seed: int = 20080149
+    engine: str = "batch"
+    processes: int | None = 1
 
     def __post_init__(self):
         check_integer("n", self.n, minimum=2)
         check_integer("repetitions", self.repetitions, minimum=1)
+        check_choice("engine", self.engine, ("batch", "scalar"))
 
     def all_qs(self) -> tuple:
         """Return the union of both panels' ratios, sorted and de-duplicated."""
@@ -76,6 +85,8 @@ class ReliabilityFigureConfig:
             repetitions=repetitions if repetitions is not None else self.repetitions,
             conditional_on_spread=self.conditional_on_spread,
             seed=self.seed,
+            engine=self.engine,
+            processes=self.processes,
         )
 
 
@@ -122,7 +133,7 @@ class ReliabilityFigureResult:
                     f"{comparison.mean_absolute_error:.3f} exceeds {tolerance}"
                 )
         for q in self.sweep.qs:
-            fanouts, simulated, _ = self.series(q)
+            fanouts, simulated, analytical = self.series(q)
             critical = poisson_critical_fanout(q) if q > 0 else float("inf")
             below = simulated[fanouts < critical * 0.8]
             well_above = simulated[fanouts > critical * 1.8]
@@ -135,7 +146,13 @@ class ReliabilityFigureResult:
                     f"q={q}: reliability {well_above.min():.2f} well above the critical fanout"
                 )
             diffs = np.diff(simulated)
-            if diffs.size and diffs.min() < -0.15:
+            # The non-decreasing claim only holds where a giant component
+            # exists: in the deep-subcritical tail (analytical reliability
+            # ~0 on both sides) the conditional average is occasionally
+            # spiked by a rare large finite component, which the MAE and
+            # below-critical checks already bound.
+            meaningful = (analytical[:-1] > 0.05) | (analytical[1:] > 0.05)
+            if diffs[meaningful].size and diffs[meaningful].min() < -0.15:
                 problems.append(f"q={q}: simulated reliability drops sharply along the fanout axis")
         # Monotonicity in q at the largest fanout.
         qs_sorted = sorted(self.sweep.qs)
@@ -158,6 +175,8 @@ def run_reliability_figure(config: ReliabilityFigureConfig) -> ReliabilityFigure
         repetitions=config.repetitions,
         seed=config.seed,
         conditional_on_spread=config.conditional_on_spread,
+        engine=config.engine,
+        processes=config.processes,
     )
     comparisons: dict[float, SeriesComparison] = compare_sweep(sweep)
     return ReliabilityFigureResult(config=config, sweep=sweep, comparisons=comparisons)

@@ -23,7 +23,9 @@ from repro.simulation.membership import FullView, UniformPartialView, Membership
 from repro.simulation.failures import FailureModel, UniformCrashModel, CrashTiming
 from repro.simulation.network import NetworkModel, latency_constant, latency_uniform
 from repro.simulation.gossip import (
+    BatchGossipResult,
     GossipExecution,
+    simulate_gossip_batch,
     simulate_gossip_once,
     simulate_gossip_event_driven,
 )
@@ -48,7 +50,9 @@ __all__ = [
     "latency_constant",
     "latency_uniform",
     "GossipExecution",
+    "BatchGossipResult",
     "simulate_gossip_once",
+    "simulate_gossip_batch",
     "simulate_gossip_event_driven",
     "ReliabilityEstimate",
     "SuccessCountResult",

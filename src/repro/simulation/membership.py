@@ -14,10 +14,20 @@ Two view providers are implemented:
   partial view).  Used by the membership ablation benchmark to show how the
   reliability degrades when the view is much smaller than the group.
 
-Views expose a single operation, :meth:`MembershipView.sample_targets`, that
-draws ``k`` distinct gossip targets for a member (never including the member
-itself).  Sampling uses Floyd's algorithm so cost is ``O(k)`` regardless of
-group size.
+Views expose two sampling operations:
+
+* :meth:`MembershipView.sample_targets` — draw ``k`` distinct gossip targets
+  for one member (never including the member itself).  Small draws use
+  Floyd's algorithm (O(k) expected work); draws that are a large fraction of
+  the view switch to a numpy partial permutation.
+* :meth:`MembershipView.sample_targets_batch` — draw distinct targets for a
+  whole *batch* of (member, fanout) pairs in a handful of array operations.
+  This is the hot path of the batched Monte-Carlo engine
+  (:func:`repro.simulation.gossip.simulate_gossip_batch`): per gossip round
+  it replaces thousands of Python-level Floyd loops with one vectorised
+  rejection pass (draw with replacement, redraw the rare rows that collide)
+  backed by an exact random-key top-``k`` (Gumbel-top-k style argpartition)
+  fallback for rows whose fanout is a large fraction of the view.
 """
 
 from __future__ import annotations
@@ -29,7 +39,27 @@ import numpy as np
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_integer
 
-__all__ = ["MembershipView", "FullView", "UniformPartialView", "sample_distinct"]
+__all__ = [
+    "MembershipView",
+    "FullView",
+    "UniformPartialView",
+    "sample_distinct",
+    "sample_distinct_rows",
+]
+
+#: Above this ``k * _NUMPY_CROSSOVER >= population`` threshold the scalar
+#: sampler uses a numpy partial permutation instead of the Python Floyd loop:
+#: Floyd costs ~k Python-level iterations while the permutation costs O(pop)
+#: numpy work, so the crossover sits at k ≈ population / 32.
+_NUMPY_CROSSOVER = 32
+
+#: Rejection-sampling retry budget of the batched sampler before a row falls
+#: back to the exact random-key path.
+_MAX_REJECTION_ROUNDS = 6
+
+#: Element budget of one random-key matrix chunk (rows × population); keeps
+#: the fallback path's memory bounded for huge batches.
+_KEY_CHUNK_ELEMENTS = 1 << 24
 
 
 def sample_distinct(
@@ -37,31 +67,117 @@ def sample_distinct(
 ) -> np.ndarray:
     """Sample ``k`` distinct integers from ``[0, population)`` excluding ``exclude``.
 
-    Uses Floyd's algorithm (O(k) expected work).  If ``k`` exceeds the number
-    of available values it is truncated.
+    Small ``k`` uses Floyd's algorithm (O(k) expected work); once ``k`` is a
+    sizeable fraction of the population (``k * 32 >= population``) a numpy
+    partial permutation is cheaper than the Python-level Floyd loop.  If
+    ``k`` exceeds the number of available values it is truncated.
     """
     if population <= 0:
         return np.empty(0, dtype=np.int64)
-    available = population - (1 if exclude is not None and 0 <= exclude < population else 0)
+    has_exclude = exclude is not None and 0 <= exclude < population
+    available = population - (1 if has_exclude else 0)
     k = min(int(k), available)
     if k <= 0:
         return np.empty(0, dtype=np.int64)
-    if exclude is None or not (0 <= exclude < population):
-        # Floyd over [0, population)
+    # Sample from the virtual slot range [0, m) with the excluded value (if
+    # any) removed; indices >= exclude are shifted up by one afterwards.
+    m = available
+    if k * _NUMPY_CROSSOVER >= m:
+        arr = rng.permutation(m)[:k].astype(np.int64)
+    else:
         chosen: set[int] = set()
-        for j in range(population - k, population):
+        for j in range(m - k, m):
             t = int(rng.integers(0, j + 1))
             chosen.add(t if t not in chosen else j)
-        return np.fromiter(chosen, dtype=np.int64, count=len(chosen))
-    # Sample from population-1 virtual slots then shift indices >= exclude.
-    m = population - 1
-    chosen = set()
-    for j in range(m - k, m):
-        t = int(rng.integers(0, j + 1))
-        chosen.add(t if t not in chosen else j)
-    arr = np.fromiter(chosen, dtype=np.int64, count=len(chosen))
-    arr[arr >= exclude] += 1
+        arr = np.fromiter(chosen, dtype=np.int64, count=len(chosen))
+    if has_exclude:
+        arr[arr >= exclude] += 1
     return arr
+
+
+def _check_batch_args(members, fanouts, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Cast and validate the (members, fanouts) pair of a batched draw.
+
+    Mirrors the scalar path's member validation: out-of-range identifiers
+    raise instead of silently wrapping through numpy negative indexing.
+    """
+    members = np.asarray(members, dtype=np.int64)
+    fanouts = np.asarray(fanouts, dtype=np.int64)
+    if members.shape != fanouts.shape:
+        raise ValueError("members and fanouts must have the same shape")
+    if members.size and (members.min() < 0 or members.max() >= n):
+        raise ValueError(f"members must be identifiers in [0, {n}), got values outside")
+    return members, fanouts
+
+
+def sample_distinct_rows(
+    rng: np.random.Generator, population: int, ks: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw ``ks[i]`` distinct integers from ``[0, population)`` for every row ``i``.
+
+    Returns ``(matrix, valid)`` where ``matrix`` has shape
+    ``(len(ks), max(ks))`` and ``valid[i, j]`` marks the ``ks[i]`` meaningful
+    entries of row ``i`` (the rest is padding).  Each row is an independent
+    uniform distinct sample.
+
+    Strategy: draw every row **with replacement** in one array operation and
+    redraw only the rows that contain a collision — for the gossip engine's
+    regime (fanout ≈ 4, view ≈ thousands) collisions hit ~``k²/2·pop`` of the
+    rows so one pass nearly always suffices.  Rows whose ``k`` is a large
+    fraction of the population (rejection would thrash) and rows that exhaust
+    the retry budget use an exact random-key top-``k``: uniform keys per
+    candidate, ``argpartition`` for the ``k`` smallest (a Gumbel-top-k with
+    uniform instead of Gumbel noise — identical selection law).
+    """
+    ks = np.minimum(np.asarray(ks, dtype=np.int64), population)
+    m = ks.size
+    kmax = int(ks.max()) if m else 0
+    if m == 0 or kmax <= 0 or population <= 0:
+        valid = np.zeros((m, 0), dtype=bool)
+        return np.zeros((m, 0), dtype=np.int64), valid
+    cols = np.arange(kmax, dtype=np.int64)
+    valid = cols[None, :] < ks[:, None]
+    out = np.zeros((m, kmax), dtype=np.int64)
+
+    rows = np.flatnonzero(ks > 0)
+    # Rows where the expected collision count is large go straight to the
+    # exact path; rejection would redraw them over and over.
+    direct = ks[rows] * ks[rows] > 4 * population
+    key_rows = rows[direct]
+    rej = rows[~direct]
+    # Padding values `population + col` are distinct within a row and never
+    # collide with real draws, so the duplicate scan can sort whole rows.
+    pad = population + cols
+    for _ in range(_MAX_REJECTION_ROUNDS):
+        if not rej.size:
+            break
+        draws = rng.integers(0, population, size=(rej.size, kmax), dtype=np.int64)
+        work = np.where(valid[rej], draws, pad)
+        work.sort(axis=1)
+        dup = (work[:, 1:] == work[:, :-1]).any(axis=1)
+        ok = ~dup
+        out[rej[ok]] = draws[ok]
+        rej = rej[dup]
+    if rej.size:
+        key_rows = np.concatenate([key_rows, rej])
+
+    # Exact fallback: per row, the k smallest of `population` uniform keys
+    # form a uniform k-subset.  Chunked so the key matrix stays bounded.
+    if key_rows.size:
+        chunk = max(1, _KEY_CHUNK_ELEMENTS // max(1, population))
+        for start in range(0, key_rows.size, chunk):
+            sub = key_rows[start : start + chunk]
+            kb = int(ks[sub].max())
+            keys = rng.random((sub.size, population))
+            if kb < population:
+                part = np.argpartition(keys, kb - 1, axis=1)[:, :kb]
+                part_keys = np.take_along_axis(keys, part, axis=1)
+                order = np.argsort(part_keys, axis=1)
+                sel = np.take_along_axis(part, order, axis=1)
+            else:
+                sel = np.argsort(keys, axis=1)
+            out[sub, :kb] = sel[:, :kb]
+    return out, valid
 
 
 class MembershipView(ABC):
@@ -78,6 +194,47 @@ class MembershipView(ABC):
     def sample_targets(self, member: int, k: int, rng: np.random.Generator) -> np.ndarray:
         """Draw ``k`` distinct gossip targets for ``member`` from its view."""
 
+    def sample_targets_batch(
+        self, members: np.ndarray, fanouts: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw distinct targets for a whole batch of (member, fanout) pairs.
+
+        Parameters
+        ----------
+        members:
+            Sender identifiers, shape ``(M,)`` (duplicates allowed — the
+            batched engine sends the same member id from different replicas).
+        fanouts:
+            Requested fanout per sender, shape ``(M,)``; clipped per row to
+            the sender's view size.
+        rng:
+            Generator supplying all randomness of the draw.
+
+        Returns
+        -------
+        (targets, senders):
+            Flat arrays of equal length: ``targets[i]`` is one gossip target
+            drawn for the sender at index ``senders[i]`` of ``members``.
+            Row ``j``'s targets are distinct and never include
+            ``members[j]``.
+
+        The base implementation loops over :meth:`sample_targets` (correct
+        for any view); :class:`FullView` and :class:`UniformPartialView`
+        override it with fully vectorised paths.
+        """
+        members, fanouts = _check_batch_args(members, fanouts, self.n)
+        batches = [
+            self.sample_targets(int(member), int(k), rng)
+            for member, k in zip(members, fanouts)
+        ]
+        senders = np.repeat(
+            np.arange(members.size, dtype=np.int64),
+            [len(b) for b in batches],
+        )
+        if not batches:
+            return np.empty(0, dtype=np.int64), senders
+        return np.concatenate(batches).astype(np.int64, copy=False), senders
+
     def view_size(self, member: int) -> int:
         """Return the number of members visible to ``member``."""
         return int(len(self.view_of(member)))
@@ -89,14 +246,47 @@ class MembershipView(ABC):
 class FullView(MembershipView):
     """Every member sees the entire group (the analytical model's assumption)."""
 
+    def __init__(self, n: int):
+        super().__init__(n)
+        self._all_members = np.arange(self.n, dtype=np.int64)
+        self._all_members.setflags(write=False)
+        self._cached_member: int | None = None
+        self._cached_view: np.ndarray | None = None
+
     def view_of(self, member: int) -> np.ndarray:
+        """Return the read-only view of ``member`` (everyone but itself).
+
+        The last requested view is cached, so the common access pattern —
+        metric/ablation code hitting the same member repeatedly — stops
+        reallocating O(n) per lookup; a different member costs one slice
+        concatenation of the shared cached arange.  Memory stays O(n).
+        """
         member = check_integer("member", member, minimum=0, maximum=self.n - 1)
-        view = np.arange(self.n, dtype=np.int64)
-        return np.delete(view, member)
+        if member != self._cached_member:
+            view = np.concatenate(
+                (self._all_members[:member], self._all_members[member + 1 :])
+            )
+            view.setflags(write=False)
+            self._cached_member = member
+            self._cached_view = view
+        return self._cached_view
 
     def sample_targets(self, member: int, k: int, rng: np.random.Generator) -> np.ndarray:
         member = check_integer("member", member, minimum=0, maximum=self.n - 1)
         return sample_distinct(rng, self.n, k, exclude=member)
+
+    def sample_targets_batch(
+        self, members: np.ndarray, fanouts: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        members, fanouts = _check_batch_args(members, fanouts, self.n)
+        # Each row samples from the n-1 virtual slots with its own id removed;
+        # drawn slots >= member shift up by one to restore real identifiers.
+        ks = np.minimum(fanouts, self.n - 1)
+        matrix, valid = sample_distinct_rows(rng, self.n - 1, ks)
+        if matrix.shape[1]:
+            matrix = matrix + (matrix >= members[:, None])
+        senders = np.repeat(np.arange(members.size, dtype=np.int64), np.maximum(ks, 0))
+        return matrix[valid], senders
 
 
 class UniformPartialView(MembershipView):
@@ -116,24 +306,26 @@ class UniformPartialView(MembershipView):
     def __init__(self, n: int, view_size: int, *, seed=None):
         super().__init__(n)
         self._view_size = check_integer("view_size", view_size, minimum=1)
-        self._views: dict[int, np.ndarray] = {}
+        self._view_matrix = np.zeros((0, 0), dtype=np.int64)
         self.reset(seed)
 
     def reset(self, seed=None) -> None:
         rng = as_generator(seed)
         size = min(self._view_size, self.n - 1)
-        self._views = {
-            member: np.sort(sample_distinct(rng, self.n, size, exclude=member))
-            for member in range(self.n)
-        }
+        # All views share one size, so they pack into an (n, size) matrix the
+        # batched sampler can gather from without Python-level lookups.
+        matrix = np.empty((self.n, size), dtype=np.int64)
+        for member in range(self.n):
+            matrix[member] = np.sort(sample_distinct(rng, self.n, size, exclude=member))
+        self._view_matrix = matrix
 
     def view_of(self, member: int) -> np.ndarray:
         member = check_integer("member", member, minimum=0, maximum=self.n - 1)
-        return self._views[member]
+        return self._view_matrix[member]
 
     def sample_targets(self, member: int, k: int, rng: np.random.Generator) -> np.ndarray:
         member = check_integer("member", member, minimum=0, maximum=self.n - 1)
-        view = self._views[member]
+        view = self._view_matrix[member]
         if len(view) == 0:
             return np.empty(0, dtype=np.int64)
         k = min(int(k), len(view))
@@ -141,3 +333,16 @@ class UniformPartialView(MembershipView):
             return np.empty(0, dtype=np.int64)
         idx = sample_distinct(rng, len(view), k)
         return view[idx]
+
+    def sample_targets_batch(
+        self, members: np.ndarray, fanouts: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        members, fanouts = _check_batch_args(members, fanouts, self.n)
+        size = self._view_matrix.shape[1]
+        ks = np.minimum(fanouts, size)
+        idx, valid = sample_distinct_rows(rng, size, ks)
+        senders = np.repeat(np.arange(members.size, dtype=np.int64), np.maximum(ks, 0))
+        if not idx.shape[1]:
+            return np.empty(0, dtype=np.int64), senders
+        targets = self._view_matrix[members[:, None], idx]
+        return targets[valid], senders

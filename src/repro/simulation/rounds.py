@@ -28,11 +28,15 @@ import numpy as np
 
 from repro.core.distributions import FanoutDistribution
 from repro.core.reliability import reliability as analytical_reliability
-from repro.simulation.gossip import GossipExecution, simulate_gossip_once
+from repro.simulation.gossip import (
+    GossipExecution,
+    simulate_gossip_batch,
+    simulate_gossip_once,
+)
 from repro.simulation.membership import MembershipView
 from repro.simulation.metrics import SuccessCountResult, build_success_count_result
 from repro.utils.rng import as_generator
-from repro.utils.validation import check_integer, check_probability
+from repro.utils.validation import check_choice, check_integer, check_probability
 
 __all__ = ["repeated_executions", "simulate_success_counts"]
 
@@ -76,6 +80,7 @@ def simulate_success_counts(
     source: int = 0,
     seed=None,
     membership: MembershipView | None = None,
+    engine: str = "batch",
 ) -> SuccessCountResult:
     """Estimate the distribution of the success count ``X`` (Figs. 6-7 protocol).
 
@@ -104,6 +109,11 @@ def simulate_success_counts(
         unconditional trials.
     max_redraws:
         Retry budget per trial when ``condition_on_spread`` is True.
+    engine:
+        ``"batch"`` (default) runs all ``simulations × executions`` trials
+        through the batched engine — conditioning redraws re-run only the
+        still-dead trials, as one batch per retry round.  ``"scalar"`` keeps
+        the per-trial reference loop.
     """
     n = check_integer("n", n, minimum=2)
     q = check_probability("q", q)
@@ -111,15 +121,37 @@ def simulate_success_counts(
     simulations = check_integer("simulations", simulations, minimum=1)
     success_threshold = check_probability("success_threshold", success_threshold)
     max_redraws = check_integer("max_redraws", max_redraws, minimum=0)
-    if mode not in ("per_member", "all_members"):
-        raise ValueError(f"mode must be 'per_member' or 'all_members', got {mode!r}")
+    mode = check_choice("mode", mode, ("per_member", "all_members"))
+    engine = check_choice("engine", engine, ("batch", "scalar"))
     rng = as_generator(seed)
+
+    if engine == "batch":
+        counts = _batched_success_counts(
+            n,
+            distribution,
+            q,
+            executions=executions,
+            simulations=simulations,
+            mode=mode,
+            success_threshold=success_threshold,
+            condition_on_spread=condition_on_spread,
+            max_redraws=max_redraws,
+            source=source,
+            rng=rng,
+            membership=membership,
+        )
+        p_r = analytical_reliability(distribution, q)
+        return build_success_count_result(counts, executions, p_r)
 
     counts = np.zeros(simulations, dtype=np.int64)
     for sim in range(simulations):
         # The observer must be a member other than the source (the source
         # trivially always receives); it is re-drawn per simulation.
-        observer = int(rng.integers(1, n)) if n > 1 else 0
+        if n > 1:
+            observer = int(rng.integers(0, n - 1))
+            observer += observer >= source
+        else:
+            observer = 0
         successes = 0
         for _ in range(executions):
             execution = simulate_gossip_once(
@@ -152,3 +184,89 @@ def simulate_success_counts(
 
     p_r = analytical_reliability(distribution, q)
     return build_success_count_result(counts, executions, p_r)
+
+
+def _batched_success_counts(
+    n: int,
+    distribution: FanoutDistribution,
+    q: float,
+    *,
+    executions: int,
+    simulations: int,
+    mode: str,
+    success_threshold: float,
+    condition_on_spread: bool,
+    max_redraws: int,
+    source: int,
+    rng: np.random.Generator,
+    membership: MembershipView | None,
+) -> np.ndarray:
+    """Vectorised Figs. 6-7 trial loop: all trials advance as one replica batch.
+
+    Trial ``t`` belongs to simulation ``t // executions``.  Conditioning on
+    spread redraws only the trials that died out, one batch per retry round,
+    so the retry cost scales with the (small) die-out fraction instead of the
+    trial count.
+    """
+    trials = simulations * executions
+    result = simulate_gossip_batch(
+        n,
+        distribution,
+        q,
+        repetitions=trials,
+        source=source,
+        seed=rng,
+        membership=membership,
+    )
+    alive = result.alive
+    delivered = result.delivered
+    if condition_on_spread:
+        pending = ~result.spread_occurred()
+        redraws = 0
+        while pending.any() and redraws < max_redraws:
+            retry = simulate_gossip_batch(
+                n,
+                distribution,
+                q,
+                repetitions=int(pending.sum()),
+                source=source,
+                seed=rng,
+                membership=membership,
+            )
+            rows = np.flatnonzero(pending)
+            alive[rows] = retry.alive
+            delivered[rows] = retry.delivered
+            pending[rows] = ~retry.spread_occurred()
+            redraws += 1
+
+    if mode == "all_members":
+        n_alive = alive.sum(axis=1)
+        reliability = delivered.sum(axis=1) / n_alive
+        successes = reliability >= success_threshold - 1e-12
+    else:
+        # One observer per simulation (a member other than the source),
+        # shared by that simulation's trials; draws from the n-1 virtual
+        # slots with the source removed, shifting to real identifiers.
+        if n > 1:
+            observers = rng.integers(0, n - 1, size=simulations)
+            observers += observers >= source
+        else:
+            observers = np.zeros(simulations, dtype=np.int64)
+        per_trial_observer = np.repeat(observers, executions)
+        trial_rows = np.arange(trials)
+        successes = delivered[trial_rows, per_trial_observer].copy()
+        # Trials whose observer failed draw a uniformly random alive stand-in
+        # (excluding the source); random keys make the per-row argmax a
+        # uniform choice over each row's alive set.
+        need_stand_in = np.flatnonzero(~alive[trial_rows, per_trial_observer])
+        if need_stand_in.size:
+            candidates = alive[need_stand_in].copy()
+            candidates[:, source] = False
+            keys = rng.random(candidates.shape)
+            keys[~candidates] = -1.0
+            stand_ins = np.argmax(keys, axis=1)
+            has_candidate = candidates.any(axis=1)
+            successes[need_stand_in] = np.where(
+                has_candidate, delivered[need_stand_in, stand_ins], False
+            )
+    return successes.reshape(simulations, executions).sum(axis=1).astype(np.int64)

@@ -7,9 +7,14 @@ handles one ``(distribution, q)`` pair; :func:`reliability_sweep` handles the
 full grid and returns a tidy result object the experiment drivers and
 benchmarks render into tables.
 
-Repetitions can optionally be fanned out over a process pool; worker inputs
-are plain picklable tuples of integers/floats so the pool never has to ship
-generator state.
+The default engine is the **batched** simulator
+(:func:`repro.simulation.gossip.simulate_gossip_batch`): all repetitions of a
+parameter pair advance together as ``(R, n)`` masks, so a whole estimate
+costs a handful of numpy passes.  ``engine="scalar"`` falls back to the
+per-replica reference simulator.  When fanned out over a process pool the
+repetitions are split into *chunked replica batches* (one batch per worker
+task, not one task per replica); worker inputs are plain picklable tuples of
+integers/floats so the pool never has to ship generator state.
 """
 
 from __future__ import annotations
@@ -21,21 +26,56 @@ import numpy as np
 
 from repro.core.distributions import FanoutDistribution, PoissonFanout
 from repro.core.reliability import reliability as analytical_reliability
-from repro.simulation.gossip import simulate_gossip_once
+from repro.simulation.gossip import simulate_gossip_batch, simulate_gossip_once
 from repro.simulation.membership import MembershipView
-from repro.simulation.metrics import ReliabilityEstimate, summarize_executions
+from repro.simulation.metrics import (
+    ExecutionMetrics,
+    ReliabilityEstimate,
+    summarize_executions,
+)
 from repro.utils.parallel import parallel_map
 from repro.utils.rng import as_generator, spawn_seeds
-from repro.utils.validation import check_integer, check_probability
+from repro.utils.validation import check_choice, check_integer, check_probability
 
 __all__ = ["estimate_reliability", "reliability_sweep", "SweepResult", "SweepPoint"]
 
+#: Replicas per worker task in the parallel path.  The chunk layout is a
+#: function of ``repetitions`` alone — never of the worker or host core
+#: count — so a fixed seed reproduces the same numbers on any machine.
+_CHUNK_REPETITIONS = 8
 
-def _run_one_replica(args) -> tuple[int, int, float, int, int, bool, bool]:
-    """Process-pool worker: run one execution and return flat metrics.
+
+def _run_replica_batch(args) -> list[tuple]:
+    """Process-pool worker: run one chunk of replicas through the batched engine.
+
+    Returns one ``(n_alive, n_reached_alive, reliability, rounds, messages,
+    duplicates, success, spread)`` tuple per replica.
+    """
+    n, distribution, q, source, seed, repetitions = args
+    result = simulate_gossip_batch(
+        n, distribution, q, repetitions=repetitions, source=source, seed=seed
+    )
+    return [
+        (
+            m.n_alive,
+            m.n_reached_alive,
+            m.reliability,
+            m.rounds,
+            m.messages_sent,
+            m.duplicates,
+            m.success,
+            m.spread,
+        )
+        for m in result.metrics()
+    ]
+
+
+def _run_one_replica(args) -> tuple[int, int, float, int, int, int, bool, bool]:
+    """Process-pool worker: run one scalar execution and return flat metrics.
 
     Returns ``(n_alive, n_reached_alive, reliability, rounds, messages,
-    success, spread)``.
+    duplicates, success, spread)``.  Kept for the ``engine="scalar"``
+    reference path.
     """
     n, distribution, q, source, seed = args
     execution = simulate_gossip_once(n, distribution, q, source=source, seed=seed)
@@ -45,6 +85,7 @@ def _run_one_replica(args) -> tuple[int, int, float, int, int, bool, bool]:
         execution.reliability(),
         execution.rounds,
         execution.messages_sent,
+        execution.duplicates,
         execution.is_success(1.0),
         execution.spread_occurred(),
     )
@@ -61,6 +102,7 @@ def estimate_reliability(
     membership: MembershipView | None = None,
     processes: int | None = 1,
     conditional_on_spread: bool = False,
+    engine: str = "batch",
 ) -> ReliabilityEstimate:
     """Estimate ``R(q, P)`` by averaging ``repetitions`` independent executions.
 
@@ -70,9 +112,10 @@ def estimate_reliability(
         Number of independent executions (paper: 20 per parameter pair).
     processes:
         Worker processes.  The default of 1 keeps execution serial and
-        deterministic; values > 1 (or ``None`` for auto) parallelise across
-        repetitions — only allowed with the default full membership view
-        because partial views are not shipped to workers.
+        deterministic; values > 1 (or ``None`` for auto) split the
+        repetitions into chunked replica batches, one batch per worker task —
+        only allowed with the default full membership view because partial
+        views are not shipped to workers.
     conditional_on_spread:
         When True, average only over executions whose dissemination took off
         (delivered more than ``max(10, sqrt(n))`` members).  Single
@@ -82,19 +125,17 @@ def estimate_reliability(
         branch; the Figs. 4-5 reproduction therefore enables this flag.  The
         unconditional default reports the plain average, and ``spread_rate``
         records how often the gossip took off either way.
+    engine:
+        ``"batch"`` (default) propagates all replicas simultaneously through
+        :func:`simulate_gossip_batch`; ``"scalar"`` runs the per-replica
+        reference simulator (slower, kept for equivalence checks).
     """
     n = check_integer("n", n, minimum=2)
     q = check_probability("q", q)
     repetitions = check_integer("repetitions", repetitions, minimum=1)
+    engine = check_choice("engine", engine, ("batch", "scalar"))
 
-    if membership is not None or (processes is not None and processes <= 1):
-        rng = as_generator(seed)
-        executions = [
-            simulate_gossip_once(
-                n, distribution, q, source=source, seed=rng, membership=membership
-            ).metrics()
-            for _ in range(repetitions)
-        ]
+    def _summarize(executions: list[ExecutionMetrics]) -> ReliabilityEstimate:
         return summarize_executions(
             executions,
             n=n,
@@ -103,11 +144,64 @@ def estimate_reliability(
             conditional_on_spread=conditional_on_spread,
         )
 
-    seeds = spawn_seeds(repetitions, seed)
-    work = [(n, distribution, q, source, s) for s in seeds]
-    rows = parallel_map(_run_one_replica, work, processes=processes)
-    from repro.simulation.metrics import ExecutionMetrics
+    serial = membership is not None or (processes is not None and processes <= 1)
+    if engine == "scalar":
+        if serial:
+            rng = as_generator(seed)
+            return _summarize(
+                [
+                    simulate_gossip_once(
+                        n, distribution, q, source=source, seed=rng, membership=membership
+                    ).metrics()
+                    for _ in range(repetitions)
+                ]
+            )
+        seeds = spawn_seeds(repetitions, seed)
+        work = [(n, distribution, q, source, s) for s in seeds]
+        rows = parallel_map(_run_one_replica, work, processes=processes)
+        return _summarize(
+            [
+                ExecutionMetrics(
+                    n=n,
+                    n_alive=row[0],
+                    n_reached_alive=row[1],
+                    reliability=row[2],
+                    rounds=row[3],
+                    messages_sent=row[4],
+                    duplicates=row[5],
+                    success=row[6],
+                    spread=row[7],
+                )
+                for row in rows
+            ]
+        )
 
+    if serial:
+        result = simulate_gossip_batch(
+            n,
+            distribution,
+            q,
+            repetitions=repetitions,
+            source=source,
+            seed=seed,
+            membership=membership,
+        )
+        return _summarize(result.metrics())
+
+    # Chunked replica batches: one worker task per chunk, not per replica.
+    # Chunk count depends only on `repetitions`, so at a fixed seed every
+    # parallel run (any processes > 1, any host core count) reproduces the
+    # same numbers; the serial path above seeds one whole-batch stream and
+    # therefore differs from the chunked layout.
+    n_chunks = max(1, -(-repetitions // _CHUNK_REPETITIONS))
+    chunk_sizes = [len(c) for c in np.array_split(np.arange(repetitions), n_chunks)]
+    seeds = spawn_seeds(n_chunks, seed)
+    work = [
+        (n, distribution, q, source, s, size)
+        for s, size in zip(seeds, chunk_sizes)
+        if size > 0
+    ]
+    chunks = parallel_map(_run_replica_batch, work, processes=processes, serial_threshold=1)
     executions = [
         ExecutionMetrics(
             n=n,
@@ -116,19 +210,14 @@ def estimate_reliability(
             reliability=row[2],
             rounds=row[3],
             messages_sent=row[4],
-            duplicates=0,
-            success=row[5],
-            spread=row[6],
+            duplicates=row[5],
+            success=row[6],
+            spread=row[7],
         )
-        for row in rows
+        for chunk in chunks
+        for row in chunk
     ]
-    return summarize_executions(
-        executions,
-        n=n,
-        q=q,
-        mean_fanout=distribution.mean(),
-        conditional_on_spread=conditional_on_spread,
-    )
+    return _summarize(executions)
 
 
 @dataclass(frozen=True)
@@ -193,13 +282,15 @@ def reliability_sweep(
     seed=None,
     processes: int | None = 1,
     conditional_on_spread: bool = False,
+    engine: str = "batch",
 ) -> SweepResult:
     """Sweep reliability over a (mean fanout × nonfailed ratio) grid.
 
     This reproduces the Figs. 4-5 protocol.  ``distribution_factory`` maps a
     mean fanout to a distribution instance (default Poisson); the analytical
     column uses the same distribution so the comparison is apples-to-apples.
-    ``conditional_on_spread`` is forwarded to :func:`estimate_reliability`.
+    ``conditional_on_spread`` and ``engine`` are forwarded to
+    :func:`estimate_reliability`.
     """
     n = check_integer("n", n, minimum=2)
     fanouts = tuple(float(f) for f in fanouts)
@@ -218,6 +309,7 @@ def reliability_sweep(
                 seed=rng if processes is not None and processes <= 1 else spawn_seeds(1, rng)[0],
                 processes=processes,
                 conditional_on_spread=conditional_on_spread,
+                engine=engine,
             )
             result.points.append(
                 SweepPoint(

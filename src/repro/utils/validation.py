@@ -80,3 +80,23 @@ def check_integer(name: str, value, *, minimum: int | None = None, maximum: int 
 def check_node_id(name: str, value, n: int) -> int:
     """Validate that ``value`` is a node identifier in ``[0, n)``."""
     return check_integer(name, value, minimum=0, maximum=n - 1)
+
+
+def check_choice(name: str, value: str, options: tuple[str, ...]) -> str:
+    """Validate that ``value`` is one of the allowed string ``options``."""
+    if value not in options:
+        allowed = " or ".join(repr(option) for option in options)
+        raise ValueError(f"{name} must be {allowed}, got {value!r}")
+    return value
+
+
+def check_sample_shape(name: str, value) -> int | tuple[int, ...]:
+    """Validate a sampling ``size``: a non-negative int or a tuple of them.
+
+    Scalar sizes return an ``int``; tuple sizes return a tuple so they can be
+    forwarded directly to numpy's ``size=`` arguments (ensemble workloads
+    draw ``(replicas, members)``-shaped fanout matrices in one call).
+    """
+    if isinstance(value, tuple):
+        return tuple(check_integer(f"{name}[{i}]", v, minimum=0) for i, v in enumerate(value))
+    return check_integer(name, value, minimum=0)

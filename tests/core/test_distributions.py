@@ -84,6 +84,26 @@ class TestCommonProperties:
     def test_sample_zero_size(self, any_distribution):
         assert any_distribution.sample(0, seed=1).shape == (0,)
 
+    def test_sample_shape_tuple(self, any_distribution):
+        samples = any_distribution.sample((6, 40), seed=9)
+        assert samples.shape == (6, 40)
+        assert samples.dtype == np.int64
+        assert np.all(samples >= 0)
+        # The matrix draw is the same distribution as the flat draw.
+        flat = any_distribution.sample(6 * 40, seed=9)
+        assert samples.mean() == pytest.approx(
+            flat.mean(), abs=4.0 * (flat.std() + 0.1) / np.sqrt(flat.size)
+        )
+
+    def test_sample_empty_shape_tuple(self, any_distribution):
+        assert any_distribution.sample((0, 5), seed=2).shape == (0, 5)
+
+    def test_sample_invalid_shape_rejected(self, any_distribution):
+        with pytest.raises(ValueError):
+            any_distribution.sample((3, -1), seed=3)
+        with pytest.raises(TypeError):
+            any_distribution.sample((3, 2.5), seed=4)
+
     def test_cdf_is_monotone_and_bounded(self, any_distribution):
         values = [any_distribution.cdf(k) for k in range(10)]
         assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))

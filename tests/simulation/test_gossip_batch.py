@@ -1,0 +1,216 @@
+"""Equivalence and edge-case tests for the batched gossip engine.
+
+The batched engine (:func:`simulate_gossip_batch`) must agree with the scalar
+reference (:func:`simulate_gossip_once`) **in distribution**: the two consume
+randomness in different orders, so the tests compare statistics over matched
+replica counts (mean reliability within confidence bounds, KS check on the
+delivered-count samples) rather than per-seed outputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.distributions import FixedFanout, PoissonFanout
+from repro.core.poisson_case import poisson_reliability
+from repro.simulation.gossip import (
+    BatchGossipResult,
+    simulate_gossip_batch,
+    simulate_gossip_once,
+)
+from repro.simulation.membership import FullView, UniformPartialView
+
+
+def _scalar_samples(n, dist, q, repetitions, seed, **kwargs):
+    rng = np.random.default_rng(seed)
+    return [
+        simulate_gossip_once(n, dist, q, seed=rng, **kwargs)
+        for _ in range(repetitions)
+    ]
+
+
+class TestBatchBasics:
+    def test_shapes_and_invariants(self):
+        result = simulate_gossip_batch(400, PoissonFanout(4.0), 0.8, repetitions=12, seed=1)
+        assert isinstance(result, BatchGossipResult)
+        assert result.alive.shape == result.delivered.shape == (12, 400)
+        assert result.rounds.shape == (12,)
+        assert result.repetitions == 12
+        # Delivered members are always alive; the source is always delivered.
+        assert not np.any(result.delivered & ~result.alive)
+        assert np.all(result.delivered[:, result.source])
+        assert np.all(result.alive[:, result.source])
+        assert np.all((result.reliability() >= 0.0) & (result.reliability() <= 1.0))
+        assert np.all(result.duplicates >= 0)
+        assert np.all(result.messages_sent >= result.duplicates)
+
+    def test_deterministic_for_seed(self):
+        a = simulate_gossip_batch(300, PoissonFanout(3.0), 0.7, repetitions=6, seed=42)
+        b = simulate_gossip_batch(300, PoissonFanout(3.0), 0.7, repetitions=6, seed=42)
+        np.testing.assert_array_equal(a.delivered, b.delivered)
+        np.testing.assert_array_equal(a.rounds, b.rounds)
+        np.testing.assert_array_equal(a.messages_sent, b.messages_sent)
+        np.testing.assert_array_equal(a.duplicates, b.duplicates)
+
+    def test_replicas_are_independent(self):
+        result = simulate_gossip_batch(200, PoissonFanout(3.0), 0.6, repetitions=8, seed=2)
+        masks = {tuple(row.tolist()) for row in result.alive}
+        assert len(masks) > 1
+
+    def test_execution_and_metrics_round_trip(self):
+        result = simulate_gossip_batch(150, PoissonFanout(4.0), 0.9, repetitions=5, seed=3)
+        metrics = result.metrics()
+        assert len(metrics) == 5
+        for r in range(5):
+            execution = result.execution(r)
+            assert execution.metrics() == metrics[r]
+
+    def test_alive_override(self):
+        n, reps = 30, 4
+        alive = np.zeros((reps, n), dtype=bool)
+        alive[:, :5] = True  # only members 0-4 are alive
+        result = simulate_gossip_batch(
+            n, FixedFanout(n - 1), 1.0, repetitions=reps, seed=4, alive=alive
+        )
+        assert np.all(result.n_alive() == 5)
+        assert np.all(result.reliability() == 1.0)
+        assert not np.any(result.delivered[:, 5:])
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            simulate_gossip_batch(100, PoissonFanout(3.0), 0.5, repetitions=0)
+        with pytest.raises(ValueError):
+            simulate_gossip_batch(
+                100, PoissonFanout(3.0), 0.5, repetitions=3, alive=np.ones((2, 100), bool)
+            )
+        with pytest.raises(ValueError):
+            simulate_gossip_batch(
+                100, PoissonFanout(3.0), 0.5, repetitions=3, membership=FullView(50)
+            )
+        with pytest.raises(ValueError):
+            simulate_gossip_batch(100, PoissonFanout(3.0), 1.5, repetitions=3)
+
+
+class TestEdgeCases:
+    def test_single_member_group(self):
+        result = simulate_gossip_batch(1, PoissonFanout(3.0), 1.0, repetitions=6, seed=5)
+        assert np.all(result.n_delivered() == 1)
+        assert np.all(result.reliability() == 1.0)
+        assert np.all(result.messages_sent == 0)
+        assert np.all(result.rounds == 1)
+
+    def test_zero_fanout_dies_immediately(self):
+        result = simulate_gossip_batch(50, FixedFanout(0), 1.0, repetitions=5, seed=6)
+        assert np.all(result.n_delivered() == 1)
+        assert np.all(result.rounds == 1)
+        assert np.all(result.messages_sent == 0)
+        scalar = simulate_gossip_once(50, FixedFanout(0), 1.0, seed=6)
+        assert scalar.rounds == result.rounds[0]
+
+    def test_q_zero_only_source_alive(self):
+        result = simulate_gossip_batch(40, FixedFanout(5), 0.0, repetitions=5, seed=7)
+        assert np.all(result.n_alive() == 1)
+        assert np.all(result.reliability() == 1.0)
+
+    def test_huge_fanout_reaches_everyone_in_two_hops(self):
+        result = simulate_gossip_batch(120, FixedFanout(119), 1.0, repetitions=4, seed=8)
+        assert np.all(result.reliability() == 1.0)
+        assert np.all(result.rounds == 2)
+
+    def test_partial_view_supported(self):
+        view = UniformPartialView(250, 8, seed=9)
+        result = simulate_gossip_batch(
+            250, PoissonFanout(4.0), 0.9, repetitions=8, seed=10, membership=view
+        )
+        assert np.all((result.reliability() >= 0.0) & (result.reliability() <= 1.0))
+
+    def test_partial_view_degrades_reliability(self):
+        # A tiny view cannot beat the full-view dissemination on average.
+        full = simulate_gossip_batch(300, PoissonFanout(5.0), 1.0, repetitions=30, seed=11)
+        tiny = simulate_gossip_batch(
+            300,
+            PoissonFanout(5.0),
+            1.0,
+            repetitions=30,
+            seed=11,
+            membership=UniformPartialView(300, 2, seed=12),
+        )
+        assert tiny.reliability().mean() <= full.reliability().mean() + 0.05
+
+
+class TestDistributionEquivalence:
+    """The batched and scalar engines agree in distribution."""
+
+    N = 600
+    REPS = 150
+
+    @pytest.fixture(scope="class")
+    def matched_runs(self):
+        dist = PoissonFanout(4.0)
+        scalar = _scalar_samples(self.N, dist, 0.9, self.REPS, seed=100)
+        batch = simulate_gossip_batch(
+            self.N, dist, 0.9, repetitions=self.REPS, seed=200
+        )
+        return scalar, batch
+
+    def test_mean_reliability_within_confidence_bounds(self, matched_runs):
+        scalar, batch = matched_runs
+        s = np.array([e.reliability() for e in scalar])
+        b = batch.reliability()
+        # Two-sample z-test bound: the means must lie within 4 combined
+        # standard errors (deterministic seeds — this is a fixed outcome).
+        tolerance = 4.0 * np.sqrt(s.var() / s.size + b.var() / b.size)
+        assert abs(s.mean() - b.mean()) < max(tolerance, 0.02)
+
+    def test_conditional_mean_matches_analysis(self, matched_runs):
+        _, batch = matched_runs
+        spread = batch.spread_occurred()
+        conditional = batch.reliability()[spread].mean()
+        assert conditional == pytest.approx(poisson_reliability(4.0, 0.9), abs=0.01)
+
+    def test_delivered_counts_ks(self, matched_runs):
+        scalar, batch = matched_runs
+        s = np.array([e.n_delivered() for e in scalar])
+        b = batch.n_delivered()
+        ks = stats.ks_2samp(s, b)
+        assert ks.pvalue > 0.01
+
+    def test_messages_and_duplicates_ks(self, matched_runs):
+        scalar, batch = matched_runs
+        s_msg = np.array([e.messages_sent for e in scalar])
+        s_dup = np.array([e.duplicates for e in scalar])
+        assert stats.ks_2samp(s_msg, batch.messages_sent).pvalue > 0.01
+        assert stats.ks_2samp(s_dup, batch.duplicates).pvalue > 0.01
+
+    def test_rounds_distribution_close(self, matched_runs):
+        scalar, batch = matched_runs
+        s = np.array([e.rounds for e in scalar], dtype=float)
+        assert abs(s.mean() - batch.rounds.mean()) < 1.0
+
+    def test_fixed_fanout_equivalence(self):
+        dist = FixedFanout(4)
+        scalar = _scalar_samples(500, dist, 0.8, 100, seed=300)
+        batch = simulate_gossip_batch(500, dist, 0.8, repetitions=100, seed=400)
+        s = np.array([e.n_delivered() for e in scalar])
+        assert stats.ks_2samp(s, batch.n_delivered()).pvalue > 0.01
+
+    def test_partial_view_equivalence(self):
+        view = UniformPartialView(300, 10, seed=13)
+        dist = PoissonFanout(4.0)
+        scalar = _scalar_samples(300, dist, 0.9, 80, seed=500, membership=view)
+        batch = simulate_gossip_batch(
+            300, dist, 0.9, repetitions=80, seed=600, membership=view
+        )
+        s = np.array([e.n_delivered() for e in scalar])
+        assert stats.ks_2samp(s, batch.n_delivered()).pvalue > 0.01
+
+    def test_subcritical_equivalence(self):
+        # Below the percolation threshold both engines die out fast.
+        dist = PoissonFanout(0.5)
+        scalar = _scalar_samples(800, dist, 1.0, 60, seed=700)
+        batch = simulate_gossip_batch(800, dist, 1.0, repetitions=60, seed=800)
+        s = np.array([e.n_delivered() for e in scalar])
+        assert s.mean() < 20 and batch.n_delivered().mean() < 20
+        assert stats.ks_2samp(s, batch.n_delivered()).pvalue > 0.01

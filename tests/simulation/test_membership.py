@@ -7,7 +7,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.simulation.membership import FullView, UniformPartialView, sample_distinct
+from repro.simulation.membership import (
+    FullView,
+    MembershipView,
+    UniformPartialView,
+    sample_distinct,
+    sample_distinct_rows,
+)
 
 
 class TestSampleDistinct:
@@ -91,6 +97,107 @@ class TestFullView:
         before = view.view_of(0).copy()
         view.reset(seed=1)
         np.testing.assert_array_equal(before, view.view_of(0))
+
+
+class TestSampleDistinctNumpyPath:
+    def test_large_k_uses_permutation_and_stays_correct(self, rng):
+        # k a large fraction of the population exercises the numpy path.
+        for k in (40, 99, 100):
+            sample = sample_distinct(rng, 100, k, exclude=17)
+            assert len(sample) == min(k, 99)
+            assert len(np.unique(sample)) == len(sample)
+            assert 17 not in sample
+
+    def test_large_k_uniformity(self, rng):
+        # Drawing 3 of 4 non-excluded values: each value appears w.p. 3/4.
+        counts = np.zeros(5)
+        for _ in range(4000):
+            np.add.at(counts, sample_distinct(rng, 5, 3, exclude=0), 1)
+        assert counts[0] == 0
+        assert np.all(np.abs(counts[1:] / 4000 - 0.75) < 0.04)
+
+
+class TestSampleDistinctRows:
+    def test_rows_distinct_and_in_range(self, rng):
+        ks = rng.integers(0, 12, size=200)
+        matrix, valid = sample_distinct_rows(rng, 10, ks)
+        for i in range(200):
+            row = matrix[i][valid[i]]
+            assert len(row) == min(ks[i], 10)
+            assert len(np.unique(row)) == len(row)
+            if row.size:
+                assert row.min() >= 0 and row.max() < 10
+
+    def test_key_fallback_rows_uniform(self, rng):
+        # k = population - 1 forces the random-key path; each value should
+        # be excluded with equal probability 1/population.
+        matrix, valid = sample_distinct_rows(rng, 8, np.full(4000, 7))
+        counts = np.bincount(matrix[valid], minlength=8)
+        assert np.all(np.abs(counts / (4000 * 7) - 1 / 8) < 0.02)
+
+    def test_empty_inputs(self, rng):
+        matrix, valid = sample_distinct_rows(rng, 10, np.zeros(5, dtype=np.int64))
+        assert matrix.shape == (5, 0) and valid.shape == (5, 0)
+        matrix, valid = sample_distinct_rows(rng, 0, np.array([3, 2]))
+        assert matrix.shape[1] == 0
+
+
+class TestSampleTargetsBatch:
+    def test_full_view_batch_contract(self, rng):
+        view = FullView(50)
+        members = rng.integers(0, 50, size=120)
+        fanouts = rng.integers(0, 60, size=120)  # some exceed the view size
+        targets, senders = view.sample_targets_batch(members, fanouts, rng)
+        assert targets.shape == senders.shape
+        for j in range(120):
+            mine = targets[senders == j]
+            assert len(mine) == min(int(fanouts[j]), 49)
+            assert len(np.unique(mine)) == len(mine)
+            assert members[j] not in mine
+
+    def test_full_view_batch_uniform(self, rng):
+        view = FullView(5)
+        targets, _ = view.sample_targets_batch(
+            np.zeros(20000, dtype=np.int64), np.ones(20000, dtype=np.int64), rng
+        )
+        counts = np.bincount(targets, minlength=5)
+        assert counts[0] == 0
+        assert np.all(np.abs(counts[1:] / 20000 - 0.25) < 0.02)
+
+    def test_partial_view_batch_stays_within_views(self, rng):
+        view = UniformPartialView(60, 6, seed=1)
+        members = rng.integers(0, 60, size=150)
+        fanouts = rng.integers(0, 10, size=150)
+        targets, senders = view.sample_targets_batch(members, fanouts, rng)
+        for j in range(150):
+            mine = targets[senders == j]
+            assert len(mine) == min(int(fanouts[j]), 6)
+            assert len(np.unique(mine)) == len(mine)
+            assert set(mine.tolist()) <= set(view.view_of(members[j]).tolist())
+
+    def test_generic_fallback_matches_contract(self, rng):
+        # Exercise the MembershipView base implementation directly.
+        view = UniformPartialView(40, 5, seed=2)
+        members = rng.integers(0, 40, size=30)
+        fanouts = rng.integers(0, 8, size=30)
+        targets, senders = MembershipView.sample_targets_batch(view, members, fanouts, rng)
+        assert targets.shape == senders.shape
+        for j in range(30):
+            mine = targets[senders == j]
+            assert len(mine) == min(int(fanouts[j]), 5)
+            assert set(mine.tolist()) <= set(view.view_of(members[j]).tolist())
+
+    def test_mismatched_shapes_rejected(self, rng):
+        view = FullView(10)
+        with pytest.raises(ValueError):
+            view.sample_targets_batch(np.arange(3), np.arange(4), rng)
+
+    def test_single_member_group(self, rng):
+        view = FullView(1)
+        targets, senders = view.sample_targets_batch(
+            np.zeros(4, dtype=np.int64), np.full(4, 3, dtype=np.int64), rng
+        )
+        assert targets.size == 0 and senders.size == 0
 
 
 class TestUniformPartialView:

@@ -76,6 +76,18 @@ class TestSuccessCounts:
         )
         assert result.mean_count() < 2.0
 
+    def test_observer_never_equals_nonzero_source(self):
+        # With a subcritical fanout the gossip rarely leaves the source, so
+        # an observer drawn equal to the source would register trivial
+        # always-success simulations; the count must stay near zero for any
+        # source placement (both engines).
+        for engine in ("batch", "scalar"):
+            result = simulate_success_counts(
+                80, PoissonFanout(0.2), 1.0, executions=20, simulations=40,
+                source=5, seed=21, engine=engine,
+            )
+            assert result.counts.max() < 15, engine
+
     def test_invalid_mode(self):
         with pytest.raises(ValueError):
             simulate_success_counts(100, PoissonFanout(3.0), 0.9, mode="bogus")

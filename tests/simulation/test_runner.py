@@ -102,7 +102,12 @@ class TestReliabilitySweep:
             )
 
     def test_error_metrics(self):
-        sweep = reliability_sweep(600, fanouts=[4.0], qs=[0.9], repetitions=8, seed=10)
+        # Conditioning on spread matches the analytical giant-component size
+        # and keeps the check robust to the occasional die-out replica.
+        sweep = reliability_sweep(
+            600, fanouts=[4.0], qs=[0.9], repetitions=8, seed=10,
+            conditional_on_spread=True,
+        )
         assert sweep.max_absolute_error() < 0.1
         assert sweep.mean_absolute_error() <= sweep.max_absolute_error()
 
