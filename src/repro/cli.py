@@ -100,7 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "figure",
         choices=[spec.experiment_id for spec in list_experiments()],
-        help="figure id (fig2 .. fig7)",
+        help="experiment id (fig2 .. fig7, sec4_percolation_validation)",
     )
     experiment.add_argument(
         "--scale",
@@ -168,7 +168,9 @@ def _cmd_experiment(args) -> int:
     spec = get_experiment(args.figure)
     config = spec.config_factory()
     if not spec.analytical_only and args.scale < 0.999:
-        if hasattr(config, "repetitions"):
+        if hasattr(config, "with_scale"):
+            config = config.with_scale(args.scale)
+        elif hasattr(config, "repetitions"):
             config = config.scaled(
                 n=max(100, int(config.n * args.scale)),
                 repetitions=max(4, int(config.repetitions * args.scale)),

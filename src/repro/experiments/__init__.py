@@ -8,7 +8,8 @@ claims (``check_shape()``).  The benchmark harness in ``benchmarks/`` is a
 thin wrapper around these drivers.
 
 Use :func:`repro.experiments.registry.get_experiment` to look drivers up by
-their experiment id (``"fig2"`` … ``"fig7"``).
+their experiment id (``"fig2"`` … ``"fig7"``, plus the graph-side
+``"sec4_percolation_validation"``).
 """
 
 from repro.experiments.fig2_mean_fanout import Fig2Config, Fig2Result, run_fig2
@@ -17,6 +18,7 @@ from repro.experiments.fig4_reliability_1000 import Fig4Config, Fig4Result, run_
 from repro.experiments.fig5_reliability_5000 import Fig5Config, Fig5Result, run_fig5
 from repro.experiments.fig6_success_f4_q09 import Fig6Config, Fig6Result, run_fig6
 from repro.experiments.fig7_success_f6_q06 import Fig7Config, Fig7Result, run_fig7
+from repro.experiments.sec4_percolation_validation import Sec4Config, Sec4Result, run_sec4
 from repro.experiments.registry import get_experiment, list_experiments
 
 __all__ = [
@@ -38,6 +40,9 @@ __all__ = [
     "Fig7Config",
     "Fig7Result",
     "run_fig7",
+    "Sec4Config",
+    "Sec4Result",
+    "run_sec4",
     "get_experiment",
     "list_experiments",
 ]

@@ -16,6 +16,7 @@ from repro.experiments import (
     fig5_reliability_5000,
     fig6_success_f4_q09,
     fig7_success_f6_q06,
+    sec4_percolation_validation,
 )
 
 __all__ = ["ExperimentSpec", "get_experiment", "list_experiments"]
@@ -87,6 +88,13 @@ _REGISTRY: dict[str, ExperimentSpec] = {
         paper_reference=fig7_success_f6_q06.PAPER_REFERENCE,
         config_factory=fig7_success_f6_q06.Fig7Config,
         runner=fig7_success_f6_q06.run_fig7,
+        analytical_only=False,
+    ),
+    "sec4_percolation_validation": ExperimentSpec(
+        experiment_id="sec4_percolation_validation",
+        paper_reference=sec4_percolation_validation.PAPER_REFERENCE,
+        config_factory=sec4_percolation_validation.Sec4Config,
+        runner=sec4_percolation_validation.run_sec4,
         analytical_only=False,
     ),
 }

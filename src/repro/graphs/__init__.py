@@ -13,7 +13,10 @@ on:
 * :mod:`repro.graphs.components` — union-find, connected components, and
   source-reachability (the "who receives the message" question),
 * :mod:`repro.graphs.gossip_graph` — the gossip-induced digraph of one
-  execution with fail-stop failures applied, and
+  execution with fail-stop failures applied,
+* :mod:`repro.graphs.ensemble` — the batched graph-percolation ensemble
+  engine (replicas of ``Gossip(n, P, q)`` graphs realised and measured as
+  one array program), and
 * :mod:`repro.graphs.metrics` — empirical giant-component / percolation
   statistics used to validate the analytical model.
 """
@@ -25,9 +28,16 @@ from repro.graphs.degree_sequence import (
 )
 from repro.graphs.components import (
     UnionFind,
+    component_labels,
     connected_components,
     largest_component_size,
     reachable_from,
+)
+from repro.graphs.ensemble import (
+    GossipGraphEnsemble,
+    GraphEnsembleResult,
+    PercolationEnsembleResult,
+    percolation_ensemble,
 )
 from repro.graphs.configuration_model import (
     configuration_model_edges,
@@ -46,9 +56,14 @@ __all__ = [
     "empirical_moments",
     "is_graphical",
     "UnionFind",
+    "component_labels",
     "connected_components",
     "largest_component_size",
     "reachable_from",
+    "GossipGraphEnsemble",
+    "GraphEnsembleResult",
+    "PercolationEnsembleResult",
+    "percolation_ensemble",
     "configuration_model_edges",
     "directed_configuration_edges",
     "to_networkx",

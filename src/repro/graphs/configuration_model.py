@@ -8,22 +8,32 @@ provided:
   ``d_i`` picks ``d_i`` distinct targets uniformly at random from the other
   nodes.  This is exactly what the gossip algorithm does (its Figure 1), so
   it is the construction used by :mod:`repro.graphs.gossip_graph` and the
-  simulator.
+  simulator.  The default ``"vectorized"`` method performs **one** batched
+  distinct-target draw for all nodes through
+  :func:`repro.utils.sampling.sample_distinct_rows` — the same kernel the
+  batched Monte-Carlo simulator uses — while ``"scalar"`` keeps the original
+  per-node ``rng.choice`` loop as the behavioural reference.
 * :func:`configuration_model_edges` — the classical undirected stub-matching
   configuration model (Newman–Strogatz–Watts), used to validate the
   percolation formulas on their "native" ensemble.
 
 Both return plain ``(m, 2)`` edge arrays; :func:`to_networkx` converts to a
-:mod:`networkx` graph when richer graph algorithms are wanted.
+:mod:`networkx` graph when richer graph algorithms are wanted (the networkx
+import happens lazily there, so the graph hot path never pays for it).
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
-import networkx as nx
 
 from repro.utils.rng import as_generator
-from repro.utils.validation import check_integer
+from repro.utils.sampling import sample_distinct_rows
+from repro.utils.validation import check_choice, check_integer
+
+if TYPE_CHECKING:  # pragma: no cover - import kept lazy at runtime
+    import networkx as nx
 
 __all__ = [
     "configuration_model_edges",
@@ -37,6 +47,7 @@ def directed_configuration_edges(
     *,
     seed=None,
     allow_self_loops: bool = False,
+    method: str = "vectorized",
 ) -> np.ndarray:
     """Build directed edges where node ``i`` picks ``out_degrees[i]`` distinct targets.
 
@@ -45,8 +56,16 @@ def directed_configuration_edges(
     random from its membership view").  Out-degrees larger than the number of
     available targets are truncated to it.
 
+    ``method="vectorized"`` (default) draws all nodes' targets in one batched
+    :func:`~repro.utils.sampling.sample_distinct_rows` call;
+    ``method="scalar"`` is the original per-node loop kept as the behavioural
+    reference (the two consume randomness differently, so they agree in
+    distribution, not per seed — ``tests/graphs/test_graph_equivalence.py``
+    pins them together).
+
     Returns an ``(m, 2)`` int64 array of ``(source, target)`` pairs.
     """
+    check_choice("method", method, ("vectorized", "scalar"))
     rng = as_generator(seed)
     out_degrees = np.asarray(out_degrees, dtype=np.int64)
     n = out_degrees.size
@@ -55,6 +74,30 @@ def directed_configuration_edges(
     max_targets = n if allow_self_loops else n - 1
     if max_targets < 0:
         max_targets = 0
+
+    if method == "scalar":
+        return _directed_edges_scalar(rng, out_degrees, n, max_targets, allow_self_loops)
+
+    ks = np.minimum(out_degrees, max_targets)
+    matrix, valid = sample_distinct_rows(rng, max_targets, ks)
+    if not allow_self_loops and matrix.shape[1]:
+        # Each row sampled from the n-1 virtual slots with its own id removed;
+        # drawn slots >= node shift up by one to restore real identifiers.
+        matrix = matrix + (matrix >= np.arange(n, dtype=np.int64)[:, None])
+    sources = np.repeat(np.arange(n, dtype=np.int64), ks)
+    if sources.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.column_stack([sources, matrix[valid]])
+
+
+def _directed_edges_scalar(
+    rng: np.random.Generator,
+    out_degrees: np.ndarray,
+    n: int,
+    max_targets: int,
+    allow_self_loops: bool,
+) -> np.ndarray:
+    """Per-node reference construction (the seed implementation)."""
     sources: list[np.ndarray] = []
     targets: list[np.ndarray] = []
     for node in range(n):
@@ -102,7 +145,8 @@ def configuration_model_edges(
         prescribed one, which is the usual trade-off and is irrelevant for
         giant-component measurements at large ``n``.
 
-    Returns an ``(m, 2)`` int64 array with each undirected edge listed once.
+    Returns an ``(m, 2)`` int64 array with each undirected edge listed once,
+    rows sorted lexicographically when ``simplify`` is on.
     """
     rng = as_generator(seed)
     degrees = np.asarray(degrees, dtype=np.int64).copy()
@@ -124,16 +168,23 @@ def configuration_model_edges(
     if simplify and pairs.size:
         keep = pairs[:, 0] != pairs[:, 1]
         pairs = pairs[keep]
-        # Drop parallel edges: canonicalise order then unique.
+        # Drop parallel edges: canonicalise order, lexsort, keep the first of
+        # each run (same output as np.unique(axis=0) without its void-dtype
+        # row comparisons, which dominated the build at large n).
         lo = np.minimum(pairs[:, 0], pairs[:, 1])
         hi = np.maximum(pairs[:, 0], pairs[:, 1])
-        canon = np.column_stack([lo, hi])
-        pairs = np.unique(canon, axis=0)
+        order = np.lexsort((hi, lo))
+        lo, hi = lo[order], hi[order]
+        first = np.ones(lo.size, dtype=bool)
+        first[1:] = (lo[1:] != lo[:-1]) | (hi[1:] != hi[:-1])
+        pairs = np.column_stack([lo[first], hi[first]])
     return pairs.astype(np.int64)
 
 
 def to_networkx(n: int, edges: np.ndarray, *, directed: bool = True) -> "nx.Graph":
     """Convert an edge array into a networkx graph with nodes ``0..n-1``."""
+    import networkx as nx
+
     n = check_integer("n", n, minimum=0)
     graph = nx.DiGraph() if directed else nx.Graph()
     graph.add_nodes_from(range(n))

@@ -18,7 +18,7 @@ the paper studies:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -59,6 +59,9 @@ class GossipGraph:
     alive: np.ndarray
     fanouts: np.ndarray
     edges: np.ndarray
+    _effective_edges: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------ queries
     def n_alive(self) -> int:
@@ -70,12 +73,18 @@ class GossipGraph:
 
         Arcs into failed members cannot contribute to further dissemination,
         so reachability over the *effective* arcs equals reachability of
-        nonfailed members over the full arc set.
+        nonfailed members over the full arc set.  The filtered array is
+        computed once and cached — ``reached()``, ``reliability()``, and
+        ``giant_component_fraction()`` all start from it, and ``alive`` /
+        ``edges`` are not meant to be mutated after construction.
         """
-        if self.edges.size == 0:
-            return self.edges
-        keep = self.alive[self.edges[:, 0]] & self.alive[self.edges[:, 1]]
-        return self.edges[keep]
+        if self._effective_edges is None:
+            if self.edges.size == 0:
+                self._effective_edges = self.edges
+            else:
+                keep = self.alive[self.edges[:, 0]] & self.alive[self.edges[:, 1]]
+                self._effective_edges = self.edges[keep]
+        return self._effective_edges
 
     def reached(self) -> np.ndarray:
         """Return the boolean mask of members reachable from the source."""
@@ -117,6 +126,7 @@ def build_gossip_graph(
     *,
     source: int = 0,
     seed=None,
+    method: str = "vectorized",
 ) -> GossipGraph:
     """Build the gossip graph of one execution of ``Gossip(n, P, q)``.
 
@@ -136,6 +146,10 @@ def build_gossip_graph(
         The member that initiates gossiping (assumed never to fail).
     seed:
         RNG seed or generator.
+    method:
+        Edge-construction method, forwarded to
+        :func:`~repro.graphs.configuration_model.directed_configuration_edges`
+        (``"vectorized"`` default, ``"scalar"`` reference).
     """
     n = check_integer("n", n, minimum=1)
     q = check_probability("q", q)
@@ -149,5 +163,5 @@ def build_gossip_graph(
     # Failed members never forward: drop their out-arcs before building edges
     # (equivalent to building all arcs then filtering, but cheaper).
     effective_out = np.where(alive, fanouts, 0)
-    edges = directed_configuration_edges(effective_out, seed=rng)
+    edges = directed_configuration_edges(effective_out, seed=rng, method=method)
     return GossipGraph(n=n, source=source, alive=alive, fanouts=fanouts, edges=edges)

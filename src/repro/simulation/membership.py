@@ -28,6 +28,12 @@ Views expose two sampling operations:
   rejection pass (draw with replacement, redraw the rare rows that collide)
   backed by an exact random-key top-``k`` (Gumbel-top-k style argpartition)
   fallback for rows whose fanout is a large fraction of the view.
+
+The distinct-sampling kernels themselves live in
+:mod:`repro.utils.sampling` so the graph-percolation ensemble
+(:mod:`repro.graphs.ensemble`) and the simulator share one implementation;
+``sample_distinct`` and ``sample_distinct_rows`` are re-exported here for
+backwards compatibility.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.utils.rng import as_generator
+from repro.utils.sampling import sample_distinct, sample_distinct_rows
 from repro.utils.validation import check_integer
 
 __all__ = [
@@ -46,53 +53,6 @@ __all__ = [
     "sample_distinct",
     "sample_distinct_rows",
 ]
-
-#: Above this ``k * _NUMPY_CROSSOVER >= population`` threshold the scalar
-#: sampler uses a numpy partial permutation instead of the Python Floyd loop:
-#: Floyd costs ~k Python-level iterations while the permutation costs O(pop)
-#: numpy work, so the crossover sits at k ≈ population / 32.
-_NUMPY_CROSSOVER = 32
-
-#: Rejection-sampling retry budget of the batched sampler before a row falls
-#: back to the exact random-key path.
-_MAX_REJECTION_ROUNDS = 6
-
-#: Element budget of one random-key matrix chunk (rows × population); keeps
-#: the fallback path's memory bounded for huge batches.
-_KEY_CHUNK_ELEMENTS = 1 << 24
-
-
-def sample_distinct(
-    rng: np.random.Generator, population: int, k: int, exclude: int | None = None
-) -> np.ndarray:
-    """Sample ``k`` distinct integers from ``[0, population)`` excluding ``exclude``.
-
-    Small ``k`` uses Floyd's algorithm (O(k) expected work); once ``k`` is a
-    sizeable fraction of the population (``k * 32 >= population``) a numpy
-    partial permutation is cheaper than the Python-level Floyd loop.  If
-    ``k`` exceeds the number of available values it is truncated.
-    """
-    if population <= 0:
-        return np.empty(0, dtype=np.int64)
-    has_exclude = exclude is not None and 0 <= exclude < population
-    available = population - (1 if has_exclude else 0)
-    k = min(int(k), available)
-    if k <= 0:
-        return np.empty(0, dtype=np.int64)
-    # Sample from the virtual slot range [0, m) with the excluded value (if
-    # any) removed; indices >= exclude are shifted up by one afterwards.
-    m = available
-    if k * _NUMPY_CROSSOVER >= m:
-        arr = rng.permutation(m)[:k].astype(np.int64)
-    else:
-        chosen: set[int] = set()
-        for j in range(m - k, m):
-            t = int(rng.integers(0, j + 1))
-            chosen.add(t if t not in chosen else j)
-        arr = np.fromiter(chosen, dtype=np.int64, count=len(chosen))
-    if has_exclude:
-        arr[arr >= exclude] += 1
-    return arr
 
 
 def _check_batch_args(members, fanouts, n: int) -> tuple[np.ndarray, np.ndarray]:
@@ -108,76 +68,6 @@ def _check_batch_args(members, fanouts, n: int) -> tuple[np.ndarray, np.ndarray]
     if members.size and (members.min() < 0 or members.max() >= n):
         raise ValueError(f"members must be identifiers in [0, {n}), got values outside")
     return members, fanouts
-
-
-def sample_distinct_rows(
-    rng: np.random.Generator, population: int, ks: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
-    """Draw ``ks[i]`` distinct integers from ``[0, population)`` for every row ``i``.
-
-    Returns ``(matrix, valid)`` where ``matrix`` has shape
-    ``(len(ks), max(ks))`` and ``valid[i, j]`` marks the ``ks[i]`` meaningful
-    entries of row ``i`` (the rest is padding).  Each row is an independent
-    uniform distinct sample.
-
-    Strategy: draw every row **with replacement** in one array operation and
-    redraw only the rows that contain a collision — for the gossip engine's
-    regime (fanout ≈ 4, view ≈ thousands) collisions hit ~``k²/2·pop`` of the
-    rows so one pass nearly always suffices.  Rows whose ``k`` is a large
-    fraction of the population (rejection would thrash) and rows that exhaust
-    the retry budget use an exact random-key top-``k``: uniform keys per
-    candidate, ``argpartition`` for the ``k`` smallest (a Gumbel-top-k with
-    uniform instead of Gumbel noise — identical selection law).
-    """
-    ks = np.minimum(np.asarray(ks, dtype=np.int64), population)
-    m = ks.size
-    kmax = int(ks.max()) if m else 0
-    if m == 0 or kmax <= 0 or population <= 0:
-        valid = np.zeros((m, 0), dtype=bool)
-        return np.zeros((m, 0), dtype=np.int64), valid
-    cols = np.arange(kmax, dtype=np.int64)
-    valid = cols[None, :] < ks[:, None]
-    out = np.zeros((m, kmax), dtype=np.int64)
-
-    rows = np.flatnonzero(ks > 0)
-    # Rows where the expected collision count is large go straight to the
-    # exact path; rejection would redraw them over and over.
-    direct = ks[rows] * ks[rows] > 4 * population
-    key_rows = rows[direct]
-    rej = rows[~direct]
-    # Padding values `population + col` are distinct within a row and never
-    # collide with real draws, so the duplicate scan can sort whole rows.
-    pad = population + cols
-    for _ in range(_MAX_REJECTION_ROUNDS):
-        if not rej.size:
-            break
-        draws = rng.integers(0, population, size=(rej.size, kmax), dtype=np.int64)
-        work = np.where(valid[rej], draws, pad)
-        work.sort(axis=1)
-        dup = (work[:, 1:] == work[:, :-1]).any(axis=1)
-        ok = ~dup
-        out[rej[ok]] = draws[ok]
-        rej = rej[dup]
-    if rej.size:
-        key_rows = np.concatenate([key_rows, rej])
-
-    # Exact fallback: per row, the k smallest of `population` uniform keys
-    # form a uniform k-subset.  Chunked so the key matrix stays bounded.
-    if key_rows.size:
-        chunk = max(1, _KEY_CHUNK_ELEMENTS // max(1, population))
-        for start in range(0, key_rows.size, chunk):
-            sub = key_rows[start : start + chunk]
-            kb = int(ks[sub].max())
-            keys = rng.random((sub.size, population))
-            if kb < population:
-                part = np.argpartition(keys, kb - 1, axis=1)[:, :kb]
-                part_keys = np.take_along_axis(keys, part, axis=1)
-                order = np.argsort(part_keys, axis=1)
-                sel = np.take_along_axis(part, order, axis=1)
-            else:
-                sel = np.argsort(keys, axis=1)
-            out[sub, :kb] = sel[:, :kb]
-    return out, valid
 
 
 class MembershipView(ABC):
@@ -286,7 +176,9 @@ class FullView(MembershipView):
         if matrix.shape[1]:
             matrix = matrix + (matrix >= members[:, None])
         senders = np.repeat(np.arange(members.size, dtype=np.int64), np.maximum(ks, 0))
-        return matrix[valid], senders
+        # The shared sampler may hand back a narrower dtype; the view API
+        # contract (and the other implementations) is int64 identifiers.
+        return matrix[valid].astype(np.int64, copy=False), senders
 
 
 class UniformPartialView(MembershipView):

@@ -10,7 +10,15 @@ from repro.experiments.registry import get_experiment, list_experiments
 class TestRegistry:
     def test_all_figures_registered(self):
         ids = [spec.experiment_id for spec in list_experiments()]
-        assert ids == ["fig2", "fig3", "fig4", "fig5", "fig6", "fig7"]
+        assert ids == [
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "sec4_percolation_validation",
+        ]
 
     def test_analytical_flags(self):
         assert get_experiment("fig2").analytical_only
@@ -35,4 +43,4 @@ class TestRegistry:
 
     def test_paper_references_present(self):
         for spec in list_experiments():
-            assert spec.paper_reference.startswith("Fig")
+            assert spec.paper_reference.startswith(("Fig", "Sec"))

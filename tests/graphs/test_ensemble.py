@@ -1,0 +1,206 @@
+"""Tests for the batched graph-percolation ensemble engine.
+
+The ensemble consumes randomness differently from the scalar
+:func:`build_gossip_graph` loop, so (mirroring
+``tests/simulation/test_gossip_batch.py``) the equivalence tests compare the
+two **in distribution** — KS on the giant-fraction / reliability samples,
+means within combined confidence bounds — while invariants and edge cases
+are checked per realisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.distributions import FixedFanout, PoissonFanout
+from repro.core.percolation import critical_ratio, giant_component_size
+from repro.graphs.ensemble import (
+    GossipGraphEnsemble,
+    GraphEnsembleResult,
+    percolation_ensemble,
+)
+from repro.graphs.gossip_graph import build_gossip_graph
+from repro.graphs.metrics import empirical_giant_component
+
+
+class TestEnsembleBasics:
+    def test_shapes_and_invariants(self):
+        result = GossipGraphEnsemble(500, PoissonFanout(4.0), 0.8).realise(12, seed=1)
+        assert isinstance(result, GraphEnsembleResult)
+        assert result.repetitions == 12
+        for arr in (result.n_alive, result.reached, result.giant_fraction, result.reliability):
+            assert arr.shape == (12,)
+        assert np.all(result.n_alive >= 1)  # the source never fails
+        assert np.all(result.reached >= 1)
+        assert np.all(result.reached <= result.n_alive)
+        assert np.all((result.giant_fraction > 0.0) & (result.giant_fraction <= 1.0))
+        assert np.all((result.reliability > 0.0) & (result.reliability <= 1.0))
+        assert result.degree_moments.mean > 0
+
+    def test_deterministic_for_seed(self):
+        a = GossipGraphEnsemble(300, PoissonFanout(3.0), 0.7).realise(6, seed=42)
+        b = GossipGraphEnsemble(300, PoissonFanout(3.0), 0.7).realise(6, seed=42)
+        np.testing.assert_array_equal(a.giant_fraction, b.giant_fraction)
+        np.testing.assert_array_equal(a.reached, b.reached)
+        np.testing.assert_array_equal(a.n_alive, b.n_alive)
+
+    def test_replicas_are_independent(self):
+        result = GossipGraphEnsemble(200, PoissonFanout(3.0), 0.6).realise(10, seed=2)
+        assert len(set(result.n_alive.tolist())) > 1
+
+    def test_chunking_matches_single_chunk(self, monkeypatch):
+        # Force tiny chunks; the per-replica statistics must stay plausible
+        # (chunking only changes batching, not semantics).
+        import repro.graphs.ensemble as ens
+
+        monkeypatch.setattr(ens, "_MAX_ROWS_PER_CHUNK", 300)
+        chunked = GossipGraphEnsemble(250, PoissonFanout(4.0), 0.9).realise(8, seed=3)
+        assert chunked.repetitions == 8
+        assert np.all(chunked.reached <= chunked.n_alive)
+        assert 0.5 < chunked.reliability.mean() <= 1.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            GossipGraphEnsemble(0, PoissonFanout(3.0), 0.5)
+        with pytest.raises(ValueError):
+            GossipGraphEnsemble(100, PoissonFanout(3.0), 1.5)
+        with pytest.raises(ValueError):
+            GossipGraphEnsemble(100, PoissonFanout(3.0), 0.5, source=100)
+        with pytest.raises(ValueError):
+            GossipGraphEnsemble(100, PoissonFanout(3.0), 0.5).realise(0)
+
+
+class TestEnsembleEdgeCases:
+    def test_single_member_group(self):
+        result = GossipGraphEnsemble(1, PoissonFanout(3.0), 1.0).realise(5, seed=4)
+        assert np.all(result.n_alive == 1)
+        assert np.all(result.reached == 1)
+        assert np.all(result.giant_fraction == 1.0)
+        assert np.all(result.reliability == 1.0)
+
+    def test_zero_fanout(self):
+        result = GossipGraphEnsemble(50, FixedFanout(0), 1.0).realise(5, seed=5)
+        assert np.all(result.reached == 1)
+        assert np.all(result.giant_fraction == pytest.approx(1.0 / 50))
+        assert result.degree_moments.mean == 0.0
+
+    def test_q_zero_only_source_alive(self):
+        result = GossipGraphEnsemble(40, FixedFanout(5), 0.0).realise(5, seed=6)
+        assert np.all(result.n_alive == 1)
+        assert np.all(result.reliability == 1.0)
+        assert np.all(result.giant_fraction == 1.0)
+
+    def test_q_one_everyone_alive(self):
+        result = GossipGraphEnsemble(80, PoissonFanout(4.0), 1.0).realise(4, seed=7)
+        assert np.all(result.n_alive == 80)
+
+    def test_huge_fanout_complete_graph(self):
+        n = 60
+        result = GossipGraphEnsemble(n, FixedFanout(n + 5), 1.0).realise(4, seed=8)
+        assert np.all(result.reached == n)
+        assert np.all(result.giant_fraction == 1.0)
+        assert np.all(result.reliability == 1.0)
+        assert result.degree_moments.mean == pytest.approx(n - 1)
+
+    def test_conditional_reliability_nan_when_nothing_spreads(self):
+        result = GossipGraphEnsemble(400, FixedFanout(0), 1.0).realise(4, seed=9)
+        assert np.isnan(result.conditional_reliability())
+
+    def test_subcritical_dies_out(self):
+        result = GossipGraphEnsemble(800, PoissonFanout(0.5), 1.0).realise(10, seed=10)
+        assert result.reached.mean() < 20
+        assert not result.spread_occurred().any()
+
+
+class TestEnsembleEquivalence:
+    """Ensemble vs the scalar build_gossip_graph loop, in distribution."""
+
+    N = 600
+    REPS = 120
+
+    @pytest.fixture(scope="class")
+    def matched_runs(self):
+        dist = PoissonFanout(4.0)
+        rng = np.random.default_rng(100)
+        scalar_giant = np.zeros(self.REPS)
+        scalar_rel = np.zeros(self.REPS)
+        for r in range(self.REPS):
+            graph = build_gossip_graph(self.N, dist, 0.9, seed=rng, method="scalar")
+            scalar_giant[r] = graph.giant_component_fraction()
+            scalar_rel[r] = graph.reliability()
+        batch = GossipGraphEnsemble(self.N, dist, 0.9).realise(self.REPS, seed=200)
+        return scalar_giant, scalar_rel, batch
+
+    def test_giant_fraction_ks(self, matched_runs):
+        scalar_giant, _, batch = matched_runs
+        assert stats.ks_2samp(scalar_giant, batch.giant_fraction).pvalue > 0.01
+
+    def test_reliability_ks(self, matched_runs):
+        _, scalar_rel, batch = matched_runs
+        assert stats.ks_2samp(scalar_rel, batch.reliability).pvalue > 0.01
+
+    def test_mean_giant_within_confidence_bounds(self, matched_runs):
+        scalar_giant, _, batch = matched_runs
+        b = batch.giant_fraction
+        tolerance = 4.0 * np.sqrt(scalar_giant.var() / scalar_giant.size + b.var() / b.size)
+        assert abs(scalar_giant.mean() - b.mean()) < max(tolerance, 0.02)
+
+    def test_conditional_reliability_matches_analysis(self):
+        dist = PoissonFanout(4.0)
+        result = GossipGraphEnsemble(2000, dist, 0.9).realise(40, seed=11)
+        assert result.conditional_reliability() == pytest.approx(
+            giant_component_size(dist, 0.9), abs=0.02
+        )
+
+    def test_empirical_critical_ratio_matches_eq3(self):
+        dist = PoissonFanout(4.0)
+        result = GossipGraphEnsemble(5000, dist, 1.0).realise(10, seed=12)
+        assert result.empirical_critical_ratio() == pytest.approx(
+            critical_ratio(dist), abs=0.02
+        )
+
+    def test_fixed_fanout_equivalence(self):
+        dist = FixedFanout(4)
+        rng = np.random.default_rng(300)
+        scalar = np.array(
+            [
+                build_gossip_graph(400, dist, 0.8, seed=rng, method="scalar").reliability()
+                for _ in range(80)
+            ]
+        )
+        batch = GossipGraphEnsemble(400, dist, 0.8).realise(80, seed=400)
+        assert stats.ks_2samp(scalar, batch.reliability).pvalue > 0.01
+
+
+class TestPercolationEnsemble:
+    def test_matches_scalar_reference_in_distribution(self):
+        dist = PoissonFanout(3.0)
+        scalar = empirical_giant_component(dist, 800, 0.8, repetitions=40, seed=13)
+        batch = percolation_ensemble(dist, 800, 0.8, repetitions=40, seed=14)
+        se = np.sqrt(scalar.std_fraction**2 / 40 + batch.std_fraction() ** 2 / 40)
+        assert abs(scalar.mean_fraction - batch.mean_fraction()) < max(4.0 * se, 0.02)
+
+    def test_converges_to_eq4(self):
+        dist = PoissonFanout(4.0)
+        result = percolation_ensemble(dist, 4000, 0.8, repetitions=6, seed=15)
+        assert result.mean_fraction() == pytest.approx(
+            giant_component_size(dist, 0.8), abs=0.02
+        )
+
+    def test_q_zero(self):
+        result = percolation_ensemble(PoissonFanout(3.0), 200, 0.0, repetitions=3, seed=16)
+        assert np.all(result.giant_fraction == 0.0)
+
+    def test_single_replica_std_zero(self):
+        result = percolation_ensemble(PoissonFanout(3.0), 200, 0.8, repetitions=1, seed=17)
+        assert result.std_fraction() == 0.0
+
+    def test_giant_fraction_consistent_with_component_sizes(self):
+        # One replica recomputed by hand through the component kernels.
+        dist = FixedFanout(3)
+        result = percolation_ensemble(dist, 300, 1.0, repetitions=1, seed=18)
+        assert 0.0 < result.giant_fraction[0] <= 1.0
+        # At q=1 nothing is removed: fraction = largest component / n.
+        assert result.giant_fraction[0] * 300 == int(result.giant_fraction[0] * 300)

@@ -1,0 +1,235 @@
+"""Equivalence tests pinning the vectorized graph paths to the scalar references.
+
+Two kinds of pinning, mirroring ``tests/simulation/test_gossip_batch.py``:
+
+* the csgraph component/reachability kernels and the lexsort dedup are
+  deterministic graph algorithms, so they must match the union-find /
+  Python-BFS / ``np.unique`` references **exactly** on identical inputs;
+* the vectorized edge builder consumes randomness differently from the
+  scalar per-node loop, so the two are compared **in distribution**
+  (exact invariants per realisation, KS / mean-CI across realisations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.core.distributions import PoissonFanout
+from repro.graphs.components import (
+    UnionFind,
+    component_labels,
+    component_sizes,
+    connected_components,
+    largest_component_size,
+    reachable_from,
+)
+from repro.graphs.configuration_model import (
+    configuration_model_edges,
+    directed_configuration_edges,
+)
+
+
+def _random_edges(rng: np.random.Generator, n: int, m: int) -> np.ndarray:
+    return rng.integers(0, n, size=(m, 2), dtype=np.int64)
+
+
+class TestComponentKernelEquivalence:
+    """csgraph fast paths == union-find reference, exactly."""
+
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        m=st.integers(min_value=0, max_value=120),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_component_sizes_exact(self, n, m, seed):
+        edges = _random_edges(np.random.default_rng(seed), n, m)
+        fast = component_sizes(n, edges, method="csgraph")
+        reference = component_sizes(n, edges, method="unionfind")
+        np.testing.assert_array_equal(fast, reference)
+
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        m=st.integers(min_value=0, max_value=120),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partition_exact(self, n, m, seed):
+        edges = _random_edges(np.random.default_rng(seed), n, m)
+        fast = connected_components(n, edges, method="csgraph")
+        reference = connected_components(n, edges, method="unionfind")
+        to_sets = lambda comps: {frozenset(c.tolist()) for c in comps}
+        assert to_sets(fast) == to_sets(reference)
+
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        m=st.integers(min_value=0, max_value=120),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_reachability_exact(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        edges = _random_edges(rng, n, m)
+        source = int(rng.integers(0, n))
+        fast = reachable_from(n, edges, source, method="csgraph")
+        reference = reachable_from(n, edges, source, method="python")
+        np.testing.assert_array_equal(fast, reference)
+
+    def test_largest_component_large_random_graph(self):
+        rng = np.random.default_rng(5)
+        edges = _random_edges(rng, 3000, 6000)
+        assert largest_component_size(3000, edges, method="csgraph") == largest_component_size(
+            3000, edges, method="unionfind"
+        )
+
+    def test_component_labels_shape(self):
+        n_comp, labels = component_labels(5, np.array([[0, 1], [3, 4]]))
+        assert n_comp == 3
+        assert labels.shape == (5,)
+        assert labels[0] == labels[1] and labels[3] == labels[4]
+        assert labels[2] not in (labels[0], labels[3])
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            component_sizes(3, np.empty((0, 2)), method="magic")
+        with pytest.raises(ValueError):
+            reachable_from(3, np.empty((0, 2)), 0, method="magic")
+
+
+class TestUnionFindVectorized:
+    """Vectorised roots()/components() == per-element find() loops."""
+
+    @given(
+        n=st.integers(min_value=1, max_value=50),
+        unions=st.lists(st.tuples(st.integers(0, 49), st.integers(0, 49)), max_size=80),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roots_match_find(self, n, unions):
+        uf = UnionFind(n)
+        for a, b in unions:
+            if a < n and b < n:
+                uf.union(a, b)
+        roots = uf.roots()
+        expected = np.array([uf.find(i) for i in range(n)], dtype=np.int64)
+        np.testing.assert_array_equal(roots, expected)
+
+    def test_components_partition_after_unions(self):
+        uf = UnionFind(8)
+        for a, b in [(0, 1), (1, 2), (5, 6)]:
+            uf.union(a, b)
+        comps = uf.components()
+        flattened = sorted(int(x) for comp in comps for x in comp)
+        assert flattened == list(range(8))
+        assert sorted(len(c) for c in comps) == [1, 1, 1, 2, 3]
+
+
+class TestLexsortDedup:
+    """The lexsort parallel-edge dedup matches the np.unique reference exactly."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=2, max_value=60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_unique_reference(self, seed, n):
+        rng = np.random.default_rng(seed)
+        degrees = rng.poisson(4.0, size=n)
+        # Same seed => identical stub matching; simplify=False exposes the
+        # raw pairs the dedup consumed.
+        try:
+            simplified = configuration_model_edges(degrees, seed=seed, simplify=True)
+            raw = configuration_model_edges(degrees, seed=seed, simplify=False)
+        except ValueError:
+            return  # odd-sum repair consumed extra randomness; skip
+        raw = raw[raw[:, 0] != raw[:, 1]]
+        lo = np.minimum(raw[:, 0], raw[:, 1])
+        hi = np.maximum(raw[:, 0], raw[:, 1])
+        expected = np.unique(np.column_stack([lo, hi]), axis=0)
+        np.testing.assert_array_equal(simplified, expected)
+
+
+class TestVectorizedEdgeBuilder:
+    """Vectorized directed_configuration_edges vs the scalar reference."""
+
+    def test_invariants_hold_per_realisation(self):
+        rng = np.random.default_rng(1)
+        out_degrees = rng.poisson(4.0, size=300)
+        edges = directed_configuration_edges(out_degrees, seed=2, method="vectorized")
+        realised = np.bincount(edges[:, 0], minlength=300)
+        np.testing.assert_array_equal(realised, np.minimum(out_degrees, 299))
+        assert np.all(edges[:, 0] != edges[:, 1])
+        # Targets are distinct per source.
+        order = np.lexsort((edges[:, 1], edges[:, 0]))
+        srt = edges[order]
+        same = (srt[1:, 0] == srt[:-1, 0]) & (srt[1:, 1] == srt[:-1, 1])
+        assert not same.any()
+
+    def test_deterministic_for_seed(self):
+        degrees = np.full(50, 4)
+        a = directed_configuration_edges(degrees, seed=3)
+        b = directed_configuration_edges(degrees, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_in_degree_distribution_matches_scalar(self):
+        # The in-degree of every node is the statistic the construction
+        # randomises; pool it over independent realisations of each method
+        # and require KS agreement plus a mean within combined CI.
+        n, runs = 250, 40
+        degrees = np.minimum(np.random.default_rng(4).poisson(4.0, size=n), n - 1)
+        rng_scalar = np.random.default_rng(100)
+        rng_vec = np.random.default_rng(200)
+        in_scalar, in_vec = [], []
+        for _ in range(runs):
+            es = directed_configuration_edges(degrees, seed=rng_scalar, method="scalar")
+            ev = directed_configuration_edges(degrees, seed=rng_vec, method="vectorized")
+            in_scalar.append(np.bincount(es[:, 1], minlength=n))
+            in_vec.append(np.bincount(ev[:, 1], minlength=n))
+        s = np.concatenate(in_scalar)
+        v = np.concatenate(in_vec)
+        assert s.sum() == v.sum() == runs * np.minimum(degrees, n - 1).sum()
+        assert stats.ks_2samp(s, v).pvalue > 0.01
+        tolerance = 4.0 * np.sqrt(s.var() / s.size + v.var() / v.size)
+        assert abs(s.mean() - v.mean()) < max(tolerance, 0.02)
+
+    def test_giant_component_distribution_matches_scalar(self):
+        # End-to-end: giant-fraction samples from both construction methods
+        # on the same degree law agree in distribution.
+        n, runs = 220, 50
+        dist_degrees = lambda r: np.minimum(r.poisson(2.0, size=n), n - 1)
+        rng_scalar = np.random.default_rng(300)
+        rng_vec = np.random.default_rng(400)
+        f_scalar, f_vec = [], []
+        for _ in range(runs):
+            es = directed_configuration_edges(dist_degrees(rng_scalar), seed=rng_scalar, method="scalar")
+            ev = directed_configuration_edges(dist_degrees(rng_vec), seed=rng_vec, method="vectorized")
+            f_scalar.append(largest_component_size(n, es) / n)
+            f_vec.append(largest_component_size(n, ev) / n)
+        assert stats.ks_2samp(f_scalar, f_vec).pvalue > 0.01
+
+    # ------------------------------------------------------------ edge cases
+    def test_single_node(self):
+        assert directed_configuration_edges(np.array([5]), seed=1).shape == (0, 2)
+
+    def test_zero_fanout(self):
+        assert directed_configuration_edges(np.zeros(10, dtype=np.int64), seed=1).shape == (0, 2)
+
+    def test_fanout_at_least_n_minus_1_gives_complete_digraph(self):
+        n = 12
+        edges = directed_configuration_edges(np.full(n, n + 3), seed=1)
+        assert edges.shape == (n * (n - 1), 2)
+        assert np.all(edges[:, 0] != edges[:, 1])
+        pairs = {(int(a), int(b)) for a, b in edges}
+        assert len(pairs) == n * (n - 1)
+
+    def test_self_loops_allowed_vectorized(self):
+        edges = directed_configuration_edges(np.full(6, 6), seed=2, allow_self_loops=True)
+        realised = np.bincount(edges[:, 0], minlength=6)
+        assert np.all(realised == 6)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            directed_configuration_edges(np.array([1, 1]), method="magic")
