@@ -8,6 +8,9 @@ Four sub-commands cover the workflows the library supports:
 * ``repro design``     — dimension a deployment: given a reliability target and
   a failure budget, compute the required mean fanout and repeat count.
 * ``repro experiment`` — regenerate one of the paper's figures (fig2 … fig7).
+* ``repro run``        — run any registered experiment workload with a named
+  scale preset (``--scale small|medium|full`` or a float factor), e.g.
+  ``repro run protocol_comparison --scale small``.
 
 The CLI is intentionally a thin shell over the public API; every number it
 prints can be obtained programmatically from :mod:`repro`.
@@ -32,6 +35,24 @@ from repro.core.success import min_executions
 from repro.experiments.registry import get_experiment, list_experiments
 
 __all__ = ["main", "build_parser"]
+
+#: Named ``--scale`` presets of the ``run`` sub-command.
+_SCALE_PRESETS = {"small": 0.1, "medium": 0.5, "full": 1.0}
+
+
+def _parse_scale(raw: str) -> float:
+    """Parse a ``--scale`` value: a named preset or a float factor in (0, 1]."""
+    try:
+        scale = _SCALE_PRESETS.get(raw.lower()) if isinstance(raw, str) else None
+        if scale is None:
+            scale = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"scale must be one of {sorted(_SCALE_PRESETS)} or a float, got {raw!r}"
+        ) from None
+    if not 0.0 < scale <= 1.0:
+        raise argparse.ArgumentTypeError(f"scale must be in (0, 1], got {scale}")
+    return scale
 
 
 def _make_distribution(name: str, mean_fanout: float) -> FanoutDistribution:
@@ -100,13 +121,28 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "figure",
         choices=[spec.experiment_id for spec in list_experiments()],
-        help="experiment id (fig2 .. fig7, sec4_percolation_validation)",
+        help="experiment id (fig2 .. fig7, sec4_percolation_validation, protocol_comparison)",
     )
     experiment.add_argument(
         "--scale",
         type=float,
         default=1.0,
         help="shrink group size / repetitions for a quick run (default: paper scale)",
+    )
+
+    run = sub.add_parser(
+        "run", help="run a registered experiment workload (named scale presets)"
+    )
+    run.add_argument(
+        "experiment",
+        choices=[spec.experiment_id for spec in list_experiments()],
+        help="experiment id (fig2 .. fig7, sec4_percolation_validation, protocol_comparison)",
+    )
+    run.add_argument(
+        "--scale",
+        type=_parse_scale,
+        default="full",
+        help="small (0.1), medium (0.5), full (1.0), or a float factor in (0, 1]",
     )
 
     return parser
@@ -164,26 +200,27 @@ def _cmd_design(args) -> int:
     return 0
 
 
-def _cmd_experiment(args) -> int:
-    spec = get_experiment(args.figure)
+def _run_experiment(experiment_id: str, scale: float) -> int:
+    """Shared driver of the ``experiment`` and ``run`` sub-commands."""
+    spec = get_experiment(experiment_id)
     config = spec.config_factory()
-    if not spec.analytical_only and args.scale < 0.999:
+    if not spec.analytical_only and scale < 0.999:
         if hasattr(config, "with_scale"):
-            config = config.with_scale(args.scale)
+            config = config.with_scale(scale)
         elif hasattr(config, "repetitions"):
             config = config.scaled(
-                n=max(100, int(config.n * args.scale)),
-                repetitions=max(4, int(config.repetitions * args.scale)),
+                n=max(100, int(config.n * scale)),
+                repetitions=max(4, int(config.repetitions * scale)),
             )
         else:
             config = config.scaled(
-                n=max(200, int(config.n * args.scale)),
-                simulations=max(15, int(config.simulations * args.scale)),
+                n=max(200, int(config.n * scale)),
+                simulations=max(15, int(config.simulations * scale)),
             )
     print(f"{spec.experiment_id}: {spec.paper_reference}")
     result = spec.runner(config)
     print(result.to_table())
-    problems = result.check_shape() if (spec.analytical_only or args.scale >= 0.999) else []
+    problems = result.check_shape() if (spec.analytical_only or scale >= 0.999) else []
     if problems:
         print("\nSHAPE VIOLATIONS:")
         for problem in problems:
@@ -191,6 +228,14 @@ def _cmd_experiment(args) -> int:
         return 1
     print("\nqualitative shape: OK")
     return 0
+
+
+def _cmd_experiment(args) -> int:
+    return _run_experiment(args.figure, args.scale)
+
+
+def _cmd_run(args) -> int:
+    return _run_experiment(args.experiment, args.scale)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -202,6 +247,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "design": _cmd_design,
         "experiment": _cmd_experiment,
+        "run": _cmd_run,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,319 @@
+"""Protocol comparison — the related-work zoo as a first-class workload.
+
+The paper positions its general gossip algorithm against the protocols of
+its related-work section (flooding, Bimodal Multicast / pbcast, lpbcast,
+Route Driven Gossip, traditional fixed-fanout gossip) but never evaluates
+them head-to-head.  This experiment runs all six protocol families through
+the **batched multi-protocol engine**
+(:func:`repro.simulation.protocol_batch.simulate_protocol_batch`) over a
+grid of nonfailed ratios ``q`` and reports, per ``(protocol, q)`` cell:
+
+* mean/std reliability (delivered nonfailed members / nonfailed members),
+* mean rounds to delivery (how many protocol rounds the dissemination ran),
+* mean message cost per member, and
+* the atomicity rate (fraction of replicas that reached *every* nonfailed
+  member).
+
+All protocols are dimensioned at **equal effort** (the same per-member
+fanout budget), so the comparison isolates the dissemination *strategy*:
+flooding is the reliability upper bound, the paper's push gossip is the
+cheap baseline, and the buffered/pull protocols (pbcast, lpbcast, RDG)
+trade control traffic for the last few percent of reliability.  Replicas
+are fanned out in chunked batches over :func:`repro.utils.parallel.parallel_map`
+exactly like :func:`repro.simulation.runner.estimate_reliability`;
+``engine="scalar"`` replays the per-execution reference protocols instead
+(slow — kept for head-to-head benchmarks and equivalence pinning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.distributions import PoissonFanout
+from repro.simulation.protocol_batch import simulate_protocol_batch
+from repro.utils.parallel import parallel_map
+from repro.utils.rng import as_generator, spawn_seeds
+from repro.utils.tables import format_table
+from repro.utils.validation import check_choice, check_integer, check_probability
+
+__all__ = [
+    "ProtocolComparisonConfig",
+    "ProtocolPoint",
+    "ProtocolComparisonResult",
+    "run_protocol_comparison",
+]
+
+EXPERIMENT_ID = "protocol_comparison"
+PAPER_REFERENCE = (
+    "Sec. 2 related work — reliability/cost comparison of the protocol zoo "
+    "(flooding, pbcast, lpbcast, RDG, fixed/random fanout) under fail-stop crashes"
+)
+
+#: Replicas per worker task when the comparison fans out over processes.
+#: A function of ``repetitions`` alone so a fixed seed reproduces the same
+#: numbers on any machine (same convention as the reliability runner).
+_CHUNK_REPETITIONS = 8
+
+
+@dataclass(frozen=True)
+class ProtocolComparisonConfig:
+    """Configuration of the cross-protocol comparison.
+
+    Attributes
+    ----------
+    n:
+        Group size.
+    qs:
+        Nonfailed-ratio grid (brackets the regimes of the paper's Figs. 4-5).
+    mean_fanout:
+        Per-member effort budget: the push fanout of every gossip protocol,
+        the overlay degree of flooding.
+    rounds:
+        Round horizon of the periodic protocols (pbcast, lpbcast, RDG).
+    repetitions:
+        Independent executions per ``(protocol, q)`` cell.
+    seed:
+        Base seed; every cell derives an independent stream.
+    engine:
+        ``"batch"`` (default) or ``"scalar"`` (per-execution reference).
+    processes:
+        Worker processes; 1 keeps execution serial and deterministic.
+    """
+
+    n: int = 1000
+    qs: tuple = (0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0)
+    mean_fanout: int = 4
+    rounds: int = 8
+    repetitions: int = 40
+    seed: int = 20082008
+    engine: str = "batch"
+    processes: int | None = 1
+
+    def __post_init__(self):
+        check_integer("n", self.n, minimum=2)
+        if not self.qs:
+            raise ValueError("qs must be non-empty")
+        for q in self.qs:
+            check_probability("q", q)
+        check_integer("mean_fanout", self.mean_fanout, minimum=1)
+        check_integer("rounds", self.rounds, minimum=1)
+        check_integer("repetitions", self.repetitions, minimum=1)
+        check_choice("engine", self.engine, ("batch", "scalar"))
+
+    def protocols(self) -> tuple:
+        """Return the six ``(protocol_id, Protocol)`` rows at equal effort."""
+        from repro.protocols import (
+            FixedFanoutGossip,
+            FloodingProtocol,
+            LpbcastProtocol,
+            PbcastProtocol,
+            RandomFanoutGossip,
+            RouteDrivenGossip,
+        )
+
+        f = self.mean_fanout
+        return (
+            ("flooding", FloodingProtocol(degree=f)),
+            ("pbcast", PbcastProtocol(fanout=f, rounds=self.rounds, broadcast_reach=0.8)),
+            ("lpbcast", LpbcastProtocol(fanout=f, rounds=self.rounds, view_size=30)),
+            ("rdg", RouteDrivenGossip(fanout=f, rounds=self.rounds, pull_fanout=1)),
+            ("fixed-fanout", FixedFanoutGossip(f)),
+            ("random-fanout", RandomFanoutGossip(PoissonFanout(float(f)))),
+        )
+
+    def with_scale(self, factor: float) -> "ProtocolComparisonConfig":
+        """Return a shrunken copy for quick runs (CLI ``--scale``)."""
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"scale factor must be in (0, 1], got {factor}")
+        if factor >= 0.999:
+            return self
+        return replace(
+            self,
+            n=max(200, int(self.n * factor)),
+            repetitions=max(8, int(self.repetitions * factor)),
+        )
+
+
+@dataclass(frozen=True)
+class ProtocolPoint:
+    """Measurements of one ``(protocol, q)`` cell."""
+
+    protocol: str
+    q: float
+    repetitions: int
+    reliability: float
+    reliability_std: float
+    mean_rounds: float
+    messages_per_member: float
+    atomic_rate: float
+
+
+@dataclass(frozen=True)
+class ProtocolComparisonResult:
+    """Result of the cross-protocol comparison."""
+
+    config: ProtocolComparisonConfig
+    points: tuple
+
+    def protocols(self) -> list[str]:
+        """Return the protocol ids in run order (deduplicated)."""
+        seen: dict[str, None] = {}
+        for p in self.points:
+            seen.setdefault(p.protocol, None)
+        return list(seen)
+
+    def series_for(self, protocol: str) -> list[ProtocolPoint]:
+        """Return one protocol's ``q`` series, ordered by ``q``."""
+        return sorted(
+            (p for p in self.points if p.protocol == protocol), key=lambda p: p.q
+        )
+
+    def point(self, protocol: str, q: float) -> ProtocolPoint:
+        """Return one cell; raise ``KeyError`` if absent."""
+        for p in self.points:
+            if p.protocol == protocol and abs(p.q - q) < 1e-12:
+                return p
+        raise KeyError(f"no point for protocol={protocol!r}, q={q!r}")
+
+    def to_table(self, *, precision: int = 4) -> str:
+        """Render the full grid as an aligned text table."""
+        headers = ["protocol", "q", "reps", "reliability", "std", "rounds", "msgs/member", "atomic"]
+        rows = [
+            [
+                p.protocol,
+                p.q,
+                p.repetitions,
+                p.reliability,
+                p.reliability_std,
+                p.mean_rounds,
+                p.messages_per_member,
+                p.atomic_rate,
+            ]
+            for p in self.points
+        ]
+        return format_table(headers, rows, precision=precision)
+
+    def check_shape(self, *, tolerance: float = 0.05) -> list[str]:
+        """Check the qualitative cross-protocol claims.
+
+        1. Per protocol, reliability does not *decrease* with ``q`` (beyond
+           Monte-Carlo slack).
+        2. At every supercritical ``q`` (>= 0.8): flooding >= pbcast >=
+           fixed-fanout reliability — the strategy ordering at equal effort.
+        3. Flooding at ``q = 1`` is essentially atomic.
+        4. Every buffered/pull protocol pays more messages per member than
+           plain push gossip at ``q = max(qs)`` (control traffic is not free).
+        """
+        problems: list[str] = []
+        for protocol in self.protocols():
+            series = self.series_for(protocol)
+            for lo, hi in zip(series, series[1:]):
+                if hi.reliability < lo.reliability - 2 * tolerance:
+                    problems.append(
+                        f"{protocol}: reliability drops from {lo.reliability:.4f} "
+                        f"(q={lo.q}) to {hi.reliability:.4f} (q={hi.q})"
+                    )
+        for q in self.config.qs:
+            if q < 0.8:
+                continue
+            try:
+                flood = self.point("flooding", q)
+                pb = self.point("pbcast", q)
+                fixed = self.point("fixed-fanout", q)
+            except KeyError:
+                continue
+            if flood.reliability < pb.reliability - tolerance:
+                problems.append(
+                    f"q={q}: flooding {flood.reliability:.4f} below pbcast {pb.reliability:.4f}"
+                )
+            if pb.reliability < fixed.reliability - tolerance:
+                problems.append(
+                    f"q={q}: pbcast {pb.reliability:.4f} below fixed-fanout {fixed.reliability:.4f}"
+                )
+        if 1.0 in self.config.qs:
+            flood = self.point("flooding", 1.0)
+            if flood.reliability < 1.0 - tolerance:
+                problems.append(
+                    f"flooding at q=1 is not atomic: reliability {flood.reliability:.4f}"
+                )
+        q_top = max(self.config.qs)
+        push_cost = self.point("fixed-fanout", q_top).messages_per_member
+        for protocol in ("pbcast", "lpbcast", "rdg"):
+            if self.point(protocol, q_top).messages_per_member < push_cost:
+                problems.append(
+                    f"{protocol} at q={q_top} is cheaper than plain push gossip"
+                )
+        return problems
+
+
+def _run_cell_batch(args) -> tuple:
+    """Process-pool worker: one chunk of replicas through the batched engine."""
+    protocol, n, q, seed, repetitions = args
+    result = simulate_protocol_batch(protocol, n, q, repetitions=repetitions, seed=seed)
+    return (
+        result.reliability().tolist(),
+        result.rounds.tolist(),
+        result.messages_per_member().tolist(),
+        result.is_atomic().tolist(),
+    )
+
+
+def _run_cell_scalar(args) -> tuple:
+    """Process-pool worker: one chunk of replicas through the scalar reference."""
+    protocol, n, q, seed, repetitions = args
+    rng = as_generator(seed)
+    reliability, rounds, messages, atomic = [], [], [], []
+    for _ in range(repetitions):
+        result = protocol.run(n, q, seed=rng)
+        reliability.append(result.reliability())
+        rounds.append(result.rounds)
+        messages.append(result.messages_per_member())
+        atomic.append(result.is_atomic())
+    return reliability, rounds, messages, atomic
+
+
+def run_protocol_comparison(
+    config: ProtocolComparisonConfig | None = None,
+) -> ProtocolComparisonResult:
+    """Run the comparison over the full ``(protocol, q)`` grid."""
+    config = config or ProtocolComparisonConfig()
+    worker = _run_cell_batch if config.engine == "batch" else _run_cell_scalar
+    serial = config.processes is not None and config.processes <= 1
+    n_chunks = 1 if serial else max(1, -(-config.repetitions // _CHUNK_REPETITIONS))
+    chunk_sizes = [len(c) for c in np.array_split(np.arange(config.repetitions), n_chunks)]
+
+    points: list[ProtocolPoint] = []
+    protocols = config.protocols()
+    cell_seeds = iter(spawn_seeds(len(protocols) * len(config.qs), config.seed))
+    for protocol_id, protocol in protocols:
+        for q in config.qs:
+            seeds = spawn_seeds(n_chunks, next(cell_seeds))
+            work = [
+                (protocol, config.n, q, seed, size)
+                for seed, size in zip(seeds, chunk_sizes)
+                if size > 0
+            ]
+            chunks = parallel_map(
+                worker, work, processes=config.processes, serial_threshold=1
+            )
+            reliability = np.concatenate([np.asarray(c[0], dtype=float) for c in chunks])
+            rounds = np.concatenate([np.asarray(c[1], dtype=float) for c in chunks])
+            messages = np.concatenate([np.asarray(c[2], dtype=float) for c in chunks])
+            atomic = np.concatenate([np.asarray(c[3], dtype=bool) for c in chunks])
+            points.append(
+                ProtocolPoint(
+                    protocol=protocol_id,
+                    q=float(q),
+                    repetitions=config.repetitions,
+                    reliability=float(reliability.mean()),
+                    reliability_std=(
+                        float(reliability.std(ddof=1)) if reliability.size > 1 else 0.0
+                    ),
+                    mean_rounds=float(rounds.mean()),
+                    messages_per_member=float(messages.mean()),
+                    atomic_rate=float(atomic.mean()),
+                )
+            )
+    return ProtocolComparisonResult(config=config, points=tuple(points))

@@ -16,6 +16,7 @@ from repro.experiments import (
     fig5_reliability_5000,
     fig6_success_f4_q09,
     fig7_success_f6_q06,
+    protocol_comparison,
     sec4_percolation_validation,
 )
 
@@ -95,6 +96,13 @@ _REGISTRY: dict[str, ExperimentSpec] = {
         paper_reference=sec4_percolation_validation.PAPER_REFERENCE,
         config_factory=sec4_percolation_validation.Sec4Config,
         runner=sec4_percolation_validation.run_sec4,
+        analytical_only=False,
+    ),
+    "protocol_comparison": ExperimentSpec(
+        experiment_id="protocol_comparison",
+        paper_reference=protocol_comparison.PAPER_REFERENCE,
+        config_factory=protocol_comparison.ProtocolComparisonConfig,
+        runner=protocol_comparison.run_protocol_comparison,
         analytical_only=False,
     ),
 }

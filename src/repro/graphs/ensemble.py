@@ -44,7 +44,7 @@ from repro.core.distributions import FanoutDistribution
 from repro.graphs.configuration_model import configuration_model_edges
 from repro.graphs.degree_sequence import DegreeMoments, sample_degree_sequence
 from repro.utils.rng import as_generator
-from repro.utils.sampling import sample_distinct_rows
+from repro.utils.sampling import sample_distinct_rows_excluding
 from repro.utils.validation import check_integer, check_probability
 
 __all__ = [
@@ -220,12 +220,10 @@ class GossipGraphEnsemble:
             ks = eff_out.ravel()
             active = np.flatnonzero(ks > 0)
             members = active % n
-            matrix, valid = sample_distinct_rows(rng, n - 1, ks[active])
-            if matrix.shape[1]:
-                # Slots >= the drawing member shift up by one to skip itself
-                # (in place: the matrix is ours and it is the chunk's largest
-                # allocation).
-                matrix += matrix >= members[:, None]
+            # The shared exclusion kernel shifts slots >= the drawing member
+            # up by one to skip itself (in place: the matrix is ours and it
+            # is the chunk's largest allocation).
+            matrix, valid = sample_distinct_rows_excluding(rng, n, ks[active], members)
             # Work in chunk-global node ids (replica r's member i is r·n + i):
             # the whole chunk then forms ONE block-diagonal graph whose
             # components never span replicas, so a single csgraph

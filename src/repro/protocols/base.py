@@ -5,7 +5,19 @@ group of ``n`` members, a fraction ``1 - q`` of which crash (fail-stop, source
 excluded), and reports which nonfailed members ended up with the message and
 how many point-to-point messages the protocol spent doing so.  Keeping the
 interface this narrow is what makes the cross-protocol reliability/cost
-comparison in ``benchmarks/bench_baseline_protocols.py`` meaningful.
+comparison (``repro run protocol_comparison`` and
+``benchmarks/bench_baseline_protocols.py``) meaningful.
+
+Protocols execute at two granularities:
+
+* :meth:`Protocol.run` — one execution (the exact behavioural reference);
+* :meth:`Protocol.run_batch` — ``R`` independent executions propagated as
+  ``(R, n)`` array programs through
+  :func:`repro.simulation.protocol_batch.simulate_protocol_batch`.  Bundled
+  protocols override the :meth:`Protocol._disseminate_batch` hook with
+  vectorised implementations; the base class falls back to replaying the
+  scalar ``_disseminate`` per replica, so any subclass works (just without
+  the speedup).
 """
 
 from __future__ import annotations
@@ -15,7 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.simulation.failures import FailurePattern, UniformCrashModel
+from repro.simulation.failures import FailureModel, FailurePattern, UniformCrashModel
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_integer, check_probability
 
@@ -74,7 +86,8 @@ class Protocol(ABC):
     pattern and an RNG and returns ``(delivered, messages_sent, rounds)``.
     The shared :meth:`run` method handles failure drawing and bookkeeping so
     every protocol is evaluated under exactly the same fault model as the
-    paper's algorithm.
+    paper's algorithm.  Batched execution goes through
+    :meth:`_disseminate_batch` (same contract with a leading replica axis).
     """
 
     #: human-readable protocol name (overridden by subclasses)
@@ -88,14 +101,21 @@ class Protocol(ABC):
         source: int = 0,
         seed=None,
         failure_pattern: FailurePattern | None = None,
+        failure_model: FailureModel | None = None,
     ) -> ProtocolResult:
-        """Disseminate one message through a group with fail-stop failures."""
+        """Disseminate one message through a group with fail-stop failures.
+
+        Failures come from ``failure_pattern`` when supplied, else from one
+        draw of ``failure_model`` (default: the paper's uniform-``q`` crash
+        model) — the same pluggable layer the batched engine uses.
+        """
         n = check_integer("n", n, minimum=2)
         q = check_probability("q", q)
         source = check_integer("source", source, minimum=0, maximum=n - 1)
         rng = as_generator(seed)
         if failure_pattern is None:
-            failure_pattern = UniformCrashModel(q).draw(n, rng, source=source)
+            model = failure_model if failure_model is not None else UniformCrashModel(q)
+            failure_pattern = model.draw(n, rng, source=source)
         alive = failure_pattern.alive.copy()
         alive[source] = True
         delivered, messages, rounds = self._disseminate(n, alive, source, rng)
@@ -111,8 +131,59 @@ class Protocol(ABC):
             rounds=int(rounds),
         )
 
+    def run_batch(
+        self,
+        n: int,
+        q: float,
+        *,
+        repetitions: int = 20,
+        source: int = 0,
+        seed=None,
+        failure_model: FailureModel | None = None,
+    ):
+        """Run ``repetitions`` independent executions as one ``(R, n)`` array program.
+
+        Convenience wrapper around
+        :func:`repro.simulation.protocol_batch.simulate_protocol_batch`;
+        returns a :class:`~repro.simulation.protocol_batch.BatchProtocolResult`.
+        """
+        from repro.simulation.protocol_batch import simulate_protocol_batch
+
+        return simulate_protocol_batch(
+            self,
+            n,
+            q,
+            repetitions=repetitions,
+            source=source,
+            seed=seed,
+            failure_model=failure_model,
+        )
+
     @abstractmethod
     def _disseminate(
         self, n: int, alive: np.ndarray, source: int, rng: np.random.Generator
     ) -> tuple[np.ndarray, int, int]:
         """Protocol-specific dissemination; returns (delivered mask, messages, rounds)."""
+
+    def _disseminate_batch(
+        self, n: int, alive: np.ndarray, source: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched dissemination hook: ``(R, n)`` alive masks in, per-replica results out.
+
+        Returns ``(delivered (R, n), messages_sent (R,), rounds (R,))``.  The
+        base implementation replays the scalar :meth:`_disseminate` once per
+        replica — correct for any protocol; every bundled protocol overrides
+        it with a vectorised array program.
+        """
+        repetitions = int(alive.shape[0])
+        delivered = np.zeros((repetitions, n), dtype=bool)
+        messages = np.zeros(repetitions, dtype=np.int64)
+        rounds = np.zeros(repetitions, dtype=np.int64)
+        for replica in range(repetitions):
+            replica_delivered, replica_messages, replica_rounds = self._disseminate(
+                n, alive[replica], source, rng
+            )
+            delivered[replica] = np.asarray(replica_delivered, dtype=bool)
+            messages[replica] = int(replica_messages)
+            rounds[replica] = int(replica_rounds)
+        return delivered, messages, rounds

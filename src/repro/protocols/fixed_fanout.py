@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.distributions import FixedFanout
 from repro.protocols.base import Protocol
+from repro.simulation.gossip import simulate_gossip_batch
 from repro.simulation.membership import sample_distinct
 from repro.utils.validation import check_integer
 
@@ -52,3 +54,18 @@ class FixedFanoutGossip(Protocol):
             delivered[newly_alive] = True
             frontier = newly_alive
         return delivered, messages, rounds
+
+    def _disseminate_batch(self, n, alive, source, rng):
+        # The constant-fanout push process IS the paper's algorithm with a
+        # degenerate distribution, so the batched gossip engine does all the
+        # work; failures arrive through the pre-drawn alive masks.
+        result = simulate_gossip_batch(
+            n,
+            FixedFanout(self.fanout),
+            1.0,  # failures are supplied through the explicit masks
+            repetitions=int(alive.shape[0]),
+            source=source,
+            seed=rng,
+            alive=alive,
+        )
+        return result.delivered, result.messages_sent, result.rounds

@@ -9,14 +9,23 @@ reliability at a fraction of its message cost.
 
 The overlay is a random regular-ish graph: every member links to ``degree``
 uniformly chosen peers (links are used bidirectionally, as overlay links are).
+
+The batched hook realises all ``R`` overlays with one
+:func:`repro.utils.sampling.sample_distinct_rows_excluding` draw (the same
+kernel the graph-percolation ensemble uses), symmetrises them into one
+block-diagonal CSR adjacency in chunk-global node ids (replica ``r``'s member
+``i`` is ``r·n + i`` — components never span replicas), and floods every
+replica simultaneously with vectorised frontier waves.
 """
 
 from __future__ import annotations
 
 import numpy as np
+from scipy import sparse
 
 from repro.protocols.base import Protocol
 from repro.simulation.membership import sample_distinct
+from repro.utils.sampling import sample_distinct_rows_excluding
 from repro.utils.validation import check_integer
 
 __all__ = ["FloodingProtocol"]
@@ -59,3 +68,64 @@ class FloodingProtocol(Protocol):
                             next_frontier.append(peer)
             frontier = next_frontier
         return delivered, messages, rounds
+
+    def _disseminate_batch(self, n, alive, source, rng):
+        repetitions = int(alive.shape[0])
+        cells = repetitions * n
+        degree = min(self.degree, n - 1)
+
+        # One batched draw realises every replica's overlay picks; the
+        # chunk-global arc list is then symmetrised and deduplicated (the
+        # scalar engine's neighbour *sets* collapse reciprocal picks).  The
+        # COO→CSR conversion merges duplicate arcs in one C-level pass —
+        # an order of magnitude cheaper than sorting 64-bit arc keys.
+        members = np.tile(np.arange(n, dtype=np.int64), repetitions)
+        picks, valid = sample_distinct_rows_excluding(
+            rng, n, np.full(cells, degree, dtype=np.int64), members
+        )
+        row_ids = np.arange(cells, dtype=np.int64)
+        src = np.repeat(row_ids, degree)
+        dst = picks[valid].astype(np.int64, copy=False) + np.repeat(row_ids - members, degree)
+        overlay = sparse.coo_matrix(
+            (
+                np.ones(2 * src.size, dtype=np.int8),
+                (
+                    np.concatenate([src, dst]).astype(np.int32, copy=False),
+                    np.concatenate([dst, src]).astype(np.int32, copy=False),
+                ),
+            ),
+            shape=(cells, cells),
+        ).tocsr()
+        indptr = overlay.indptr
+        arc_dst = overlay.indices
+        neighbour_counts = np.diff(indptr)
+
+        delivered = np.zeros(cells, dtype=bool)
+        alive_flat = alive.ravel()
+        messages = np.zeros(repetitions, dtype=np.int64)
+        rounds = np.zeros(repetitions, dtype=np.int64)
+
+        frontier = np.arange(repetitions, dtype=np.int64) * n + source
+        delivered[frontier] = True
+        while frontier.size:
+            frontier_replica = frontier // n
+            rounds += np.bincount(frontier_replica, minlength=repetitions) > 0
+            fanout = neighbour_counts[frontier].astype(np.int64, copy=False)
+            messages += np.bincount(
+                frontier_replica, weights=fanout, minlength=repetitions
+            ).astype(np.int64)
+            total = int(fanout.sum())
+            if total == 0:
+                break
+            # Gather every frontier member's neighbour slice in one pass.
+            positions = (
+                np.arange(total, dtype=np.int64)
+                - np.repeat(np.cumsum(fanout) - fanout, fanout)
+                + np.repeat(indptr[frontier], fanout)
+            )
+            targets = arc_dst[positions]
+            fresh = np.unique(targets)
+            fresh = fresh[~delivered[fresh]]
+            delivered[fresh] = True
+            frontier = fresh[alive_flat[fresh]]
+        return delivered.reshape(repetitions, n), messages, rounds

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.protocols.base import Protocol
 from repro.simulation.membership import UniformPartialView, sample_distinct
+from repro.utils.sampling import sample_distinct_rows, sample_distinct_rows_excluding
 from repro.utils.validation import check_integer
 
 __all__ = ["LpbcastProtocol"]
@@ -64,3 +65,52 @@ class LpbcastProtocol(Protocol):
             if newly:
                 has_message[np.array(newly, dtype=np.int64)] = True
         return has_message, messages, rounds_executed
+
+    def _disseminate_batch(self, n, alive, source, rng):
+        repetitions = int(alive.shape[0])
+        size = min(self.view_size, n - 1)
+        # Every replica gets its own fresh partial-view assignment, drawn for
+        # all R·n members in one batched pass (the batched analogue of one
+        # UniformPartialView per execution).
+        cells_total = repetitions * n
+        members = np.tile(np.arange(n, dtype=np.int64), repetitions)
+        picks, _ = sample_distinct_rows_excluding(
+            rng, n, np.full(cells_total, size, dtype=np.int64), members
+        )
+        views = picks.reshape(repetitions, n, size)
+
+        fanout = min(self.fanout, size)
+        has_message = np.zeros((repetitions, n), dtype=bool)
+        has_message[:, source] = True
+        has_flat = has_message.ravel()
+        alive_flat = alive.ravel()
+        messages = np.zeros(repetitions, dtype=np.int64)
+        rounds = np.zeros(repetitions, dtype=np.int64)
+
+        # lpbcast is periodic: every replica gossips for the full round
+        # budget (digest traffic continues even after everyone has the
+        # message), so no convergence exit — only the holders-empty guard.
+        active = np.ones(repetitions, dtype=bool)
+        for _ in range(self.rounds):
+            if not active.any():
+                break
+            rounds += active
+            holders = has_message & alive & active[:, None]
+            active &= holders.any(axis=1)
+            rep_idx, mem_idx = np.nonzero(holders & active[:, None])
+            if rep_idx.size == 0:
+                continue
+            # Batched view sampling: per holder, `fanout` distinct slots of
+            # its own view row, gathered in one fancy-indexed pass.
+            slot_idx, _ = sample_distinct_rows(
+                rng, size, np.full(rep_idx.size, fanout, dtype=np.int64)
+            )
+            targets = np.take_along_axis(
+                views[rep_idx, mem_idx], slot_idx.astype(np.int64, copy=False), axis=1
+            ).ravel()
+            target_replica = np.repeat(rep_idx, fanout)
+            messages += np.bincount(target_replica, minlength=repetitions)
+            cells = target_replica * n + targets.astype(np.int64, copy=False)
+            fresh = np.unique(cells[alive_flat[cells] & ~has_flat[cells]])
+            has_flat[fresh] = True
+        return has_message, messages, rounds

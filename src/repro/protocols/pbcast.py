@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.protocols.base import Protocol
 from repro.simulation.membership import sample_distinct
+from repro.simulation.protocol_batch import sample_group_targets_batch
 from repro.utils.validation import check_integer, check_probability
 
 __all__ = ["PbcastProtocol"]
@@ -72,3 +73,46 @@ class PbcastProtocol(Protocol):
                 break
             has_message[np.array(newly, dtype=np.int64)] = True
         return has_message, messages, rounds_executed
+
+    def _disseminate_batch(self, n, alive, source, rng):
+        repetitions = int(alive.shape[0])
+        has_message = np.zeros((repetitions, n), dtype=bool)
+        has_message[:, source] = True
+        messages = np.zeros(repetitions, dtype=np.int64)
+        rounds = np.zeros(repetitions, dtype=np.int64)
+
+        # Phase 1: one (R, n) draw realises every replica's unreliable
+        # broadcast; only members that are up can buffer the message.
+        reached = rng.random((repetitions, n)) < self.broadcast_reach
+        reached[:, source] = True
+        messages += n - 1
+        has_message |= reached & alive
+        has_flat = has_message.ravel()
+        alive_flat = alive.ravel()
+
+        # Phase 2: anti-entropy rounds advance all replicas in lock-step;
+        # a replica leaves the batch once a round produces no recovery
+        # (converged), exactly the scalar engine's break.
+        active = np.ones(repetitions, dtype=bool)
+        for _ in range(self.rounds):
+            if not active.any():
+                break
+            rounds += active
+            holders = has_message & alive & active[:, None]
+            active &= holders.any(axis=1)
+            rep_idx, mem_idx = np.nonzero(holders & active[:, None])
+            if rep_idx.size == 0:
+                continue
+            cells, target_replica = sample_group_targets_batch(
+                n, rep_idx, mem_idx, self.fanout, rng
+            )
+            messages += np.bincount(target_replica, minlength=repetitions)  # digests
+            # A digest landing on a nonfailed peer that misses the message
+            # triggers one pull each (duplicates within the round included,
+            # as in the scalar engine).
+            pulling = alive_flat[cells] & ~has_flat[cells]
+            messages += np.bincount(target_replica[pulling], minlength=repetitions)
+            fresh = np.unique(cells[pulling])
+            active &= np.bincount(fresh // n, minlength=repetitions) > 0
+            has_flat[fresh] = True
+        return has_message, messages, rounds

@@ -11,7 +11,7 @@ from __future__ import annotations
 from repro.core.distributions import FanoutDistribution
 from repro.protocols.base import Protocol
 from repro.simulation.failures import FailurePattern
-from repro.simulation.gossip import simulate_gossip_once
+from repro.simulation.gossip import simulate_gossip_batch, simulate_gossip_once
 
 __all__ = ["RandomFanoutGossip"]
 
@@ -41,3 +41,15 @@ class RandomFanoutGossip(Protocol):
             failure_pattern=pattern,
         )
         return execution.delivered, execution.messages_sent, execution.rounds
+
+    def _disseminate_batch(self, n, alive, source, rng):
+        result = simulate_gossip_batch(
+            n,
+            self.distribution,
+            1.0,  # failures are supplied through the explicit masks
+            repetitions=int(alive.shape[0]),
+            source=source,
+            seed=rng,
+            alive=alive,
+        )
+        return result.delivered, result.messages_sent, result.rounds

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.protocols.base import Protocol
 from repro.simulation.membership import sample_distinct
+from repro.simulation.protocol_batch import sample_group_targets_batch
 from repro.utils.validation import check_integer
 
 __all__ = ["RouteDrivenGossip"]
@@ -74,3 +75,48 @@ class RouteDrivenGossip(Protocol):
             if bool(np.all(has_message[alive])):
                 break
         return has_message, messages, rounds_executed
+
+    def _disseminate_batch(self, n, alive, source, rng):
+        repetitions = int(alive.shape[0])
+        has_message = np.zeros((repetitions, n), dtype=bool)
+        has_message[:, source] = True
+        has_flat = has_message.ravel()
+        alive_flat = alive.ravel()
+        messages = np.zeros(repetitions, dtype=np.int64)
+        rounds = np.zeros(repetitions, dtype=np.int64)
+
+        active = np.ones(repetitions, dtype=bool)
+        pull_fanout = min(self.pull_fanout, n - 1)
+        for _ in range(self.rounds):
+            if not active.any():
+                break
+            rounds += active
+            # ---------------------------------------------------------- push
+            holders = has_message & alive & active[:, None]
+            active &= holders.any(axis=1)
+            rep_idx, mem_idx = np.nonzero(holders & active[:, None])
+            if rep_idx.size:
+                cells, target_replica = sample_group_targets_batch(
+                    n, rep_idx, mem_idx, self.fanout, rng
+                )
+                messages += np.bincount(target_replica, minlength=repetitions)
+                fresh = np.unique(cells[alive_flat[cells] & ~has_flat[cells]])
+                has_flat[fresh] = True
+            # ---------------------------------------------------------- pull
+            if pull_fanout > 0:
+                missing = alive & ~has_message & active[:, None]
+                miss_rep, miss_mem = np.nonzero(missing)
+                if miss_rep.size:
+                    peer_cells, peer_replica = sample_group_targets_batch(
+                        n, miss_rep, miss_mem, pull_fanout, rng
+                    )
+                    messages += np.bincount(peer_replica, minlength=repetitions)  # requests
+                    # One response per missing member whose queried peers
+                    # include at least one nonfailed holder.
+                    hit = has_flat[peer_cells] & alive_flat[peer_cells]
+                    puller = np.repeat(np.arange(miss_rep.size), pull_fanout)
+                    recovered = np.bincount(puller[hit], minlength=miss_rep.size) > 0
+                    messages += np.bincount(miss_rep[recovered], minlength=repetitions)
+                    has_flat[miss_rep[recovered] * n + miss_mem[recovered]] = True
+            active &= np.any(alive & ~has_message, axis=1)
+        return has_message, messages, rounds

@@ -15,12 +15,23 @@ Supporting modules supply membership views (:mod:`repro.simulation.membership`),
 fail-stop failure injection (:mod:`repro.simulation.failures`), repeated-execution
 experiments (:mod:`repro.simulation.rounds`), result records
 (:mod:`repro.simulation.metrics`), and the Monte-Carlo runner / parameter sweep
-driver (:mod:`repro.simulation.runner`).
+driver (:mod:`repro.simulation.runner`).  The batched treatment extends to the
+whole baseline-protocol zoo through
+:mod:`repro.simulation.protocol_batch` (``simulate_protocol_batch`` — ``(R, n)``
+array programs for flooding, pbcast, lpbcast, RDG, and the fanout gossips,
+with vectorised pluggable failure drawing).
 """
 
 from repro.simulation.engine import EventScheduler, Event
 from repro.simulation.membership import FullView, UniformPartialView, MembershipView
-from repro.simulation.failures import FailureModel, UniformCrashModel, CrashTiming
+from repro.simulation.failures import (
+    FailureModel,
+    FailurePattern,
+    FailurePatternBatch,
+    TargetedCrashModel,
+    UniformCrashModel,
+    CrashTiming,
+)
 from repro.simulation.network import NetworkModel, latency_constant, latency_uniform
 from repro.simulation.gossip import (
     BatchGossipResult,
@@ -28,6 +39,10 @@ from repro.simulation.gossip import (
     simulate_gossip_batch,
     simulate_gossip_once,
     simulate_gossip_event_driven,
+)
+from repro.simulation.protocol_batch import (
+    BatchProtocolResult,
+    simulate_protocol_batch,
 )
 from repro.simulation.metrics import (
     ReliabilityEstimate,
@@ -44,7 +59,10 @@ __all__ = [
     "FullView",
     "UniformPartialView",
     "FailureModel",
+    "FailurePattern",
+    "FailurePatternBatch",
     "UniformCrashModel",
+    "TargetedCrashModel",
     "CrashTiming",
     "NetworkModel",
     "latency_constant",
@@ -54,6 +72,8 @@ __all__ = [
     "simulate_gossip_once",
     "simulate_gossip_batch",
     "simulate_gossip_event_driven",
+    "BatchProtocolResult",
+    "simulate_protocol_batch",
     "ReliabilityEstimate",
     "SuccessCountResult",
     "summarize_executions",

@@ -43,7 +43,11 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.utils.rng import as_generator
-from repro.utils.sampling import sample_distinct, sample_distinct_rows
+from repro.utils.sampling import (
+    sample_distinct,
+    sample_distinct_rows,
+    sample_distinct_rows_excluding,
+)
 from repro.utils.validation import check_integer
 
 __all__ = [
@@ -169,12 +173,10 @@ class FullView(MembershipView):
         self, members: np.ndarray, fanouts: np.ndarray, rng: np.random.Generator
     ) -> tuple[np.ndarray, np.ndarray]:
         members, fanouts = _check_batch_args(members, fanouts, self.n)
-        # Each row samples from the n-1 virtual slots with its own id removed;
-        # drawn slots >= member shift up by one to restore real identifiers.
+        # Each row samples from the n-1 virtual slots with its own id removed
+        # (the shared exclusion kernel restores real identifiers).
         ks = np.minimum(fanouts, self.n - 1)
-        matrix, valid = sample_distinct_rows(rng, self.n - 1, ks)
-        if matrix.shape[1]:
-            matrix = matrix + (matrix >= members[:, None])
+        matrix, valid = sample_distinct_rows_excluding(rng, self.n, fanouts, members)
         senders = np.repeat(np.arange(members.size, dtype=np.int64), np.maximum(ks, 0))
         # The shared sampler may hand back a narrower dtype; the view API
         # contract (and the other implementations) is int64 identifiers.

@@ -1,0 +1,223 @@
+"""Batched Monte-Carlo engine for the whole baseline-protocol zoo.
+
+PR 1 proved that propagating all replicas of a Monte-Carlo experiment as
+``(R, n)`` boolean masks removes the Python-interpreter round trips that
+dominate per-replica simulation (10-50× on the paper's gossip process).
+This module extends that treatment from the paper's algorithm to **every**
+:class:`~repro.protocols.base.Protocol`:
+
+* :func:`simulate_protocol_batch` is the dispatch entry point: it draws the
+  failure patterns for all replicas in one vectorised pass (any
+  :class:`~repro.simulation.failures.FailureModel` — uniform or targeted
+  crashes, pre- or mid-execution :class:`~repro.simulation.failures.CrashTiming`)
+  and hands the ``(R, n)`` alive masks to the protocol's
+  ``_disseminate_batch`` hook;
+* every bundled protocol implements that hook as an array program over the
+  shared :mod:`repro.utils.sampling` kernels (flooding = one overlay build +
+  frontier waves in chunk-global node ids, pbcast/lpbcast = buffered rounds
+  with batched view sampling, RDG = batched push masks + pull masks per
+  round), while the base class provides a scalar-replay fallback so any
+  external subclass works unbatched;
+* the scalar :meth:`~repro.protocols.base.Protocol.run` stays the exact
+  behavioural reference — ``tests/protocols/test_protocol_batch.py`` pins
+  each batched protocol to its scalar pin through the shared statistical
+  harness (``tests/helpers/statistical.py``).
+
+Per-round helpers for the round-based protocols live here
+(:func:`sample_group_targets_batch`) so the protocol modules stay readable
+and every protocol consumes the same target-drawing law.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulation.failures import (
+    FailureModel,
+    FailurePatternBatch,
+    UniformCrashModel,
+)
+from repro.utils.rng import as_generator
+from repro.utils.sampling import sample_distinct_rows_excluding
+from repro.utils.validation import check_integer, check_probability
+
+__all__ = [
+    "BatchProtocolResult",
+    "simulate_protocol_batch",
+    "sample_group_targets_batch",
+]
+
+
+@dataclass(frozen=True)
+class BatchProtocolResult:
+    """Outcome of ``R`` replica runs of one protocol, propagated as a batch.
+
+    Every attribute is the batched analogue of the corresponding
+    :class:`~repro.protocols.base.ProtocolResult` field, with a leading
+    replica axis.
+
+    Attributes
+    ----------
+    protocol:
+        Protocol name.
+    n:
+        Group size.
+    source:
+        Source member identifier (shared by all replicas).
+    alive:
+        ``(R, n)`` boolean masks of nonfailed members.
+    delivered:
+        ``(R, n)`` boolean masks of nonfailed members holding the message.
+    messages_sent:
+        ``(R,)`` total point-to-point messages per replica.
+    rounds:
+        ``(R,)`` protocol rounds / gossip hops executed per replica.
+    failure:
+        The batch failure pattern the replicas ran under (crash timing
+        included, for mid-execution-crash bookkeeping).
+    """
+
+    protocol: str
+    n: int
+    source: int
+    alive: np.ndarray
+    delivered: np.ndarray
+    messages_sent: np.ndarray
+    rounds: np.ndarray
+    failure: FailurePatternBatch
+
+    @property
+    def repetitions(self) -> int:
+        """Return the number of replicas ``R``."""
+        return int(self.alive.shape[0])
+
+    def n_alive(self) -> np.ndarray:
+        """Return the per-replica number of nonfailed members, shape ``(R,)``."""
+        return self.alive.sum(axis=1)
+
+    def n_delivered(self) -> np.ndarray:
+        """Return the per-replica number of reached nonfailed members, shape ``(R,)``."""
+        return self.delivered.sum(axis=1)
+
+    def reliability(self) -> np.ndarray:
+        """Return the per-replica delivered/alive ratio, shape ``(R,)``."""
+        return self.n_delivered() / self.n_alive()
+
+    def is_atomic(self) -> np.ndarray:
+        """Return per-replica flags: every nonfailed member got the message."""
+        return ~np.any(self.alive & ~self.delivered, axis=1)
+
+    def messages_per_member(self) -> np.ndarray:
+        """Return the per-replica message cost normalised by group size."""
+        return self.messages_sent / self.n
+
+    def result(self, replica: int):
+        """Return one replica as a scalar :class:`~repro.protocols.base.ProtocolResult`."""
+        from repro.protocols.base import ProtocolResult
+
+        replica = check_integer("replica", replica, minimum=0, maximum=self.repetitions - 1)
+        return ProtocolResult(
+            protocol=self.protocol,
+            n=self.n,
+            alive=self.alive[replica],
+            delivered=self.delivered[replica],
+            messages_sent=int(self.messages_sent[replica]),
+            rounds=int(self.rounds[replica]),
+        )
+
+
+def sample_group_targets_batch(
+    n: int,
+    rep_idx: np.ndarray,
+    mem_idx: np.ndarray,
+    fanout: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw ``fanout`` distinct group-wide targets for every (replica, member) sender.
+
+    The whole-group analogue of
+    :meth:`~repro.simulation.membership.FullView.sample_targets_batch`,
+    specialised for the round-based protocols: every sender row draws the
+    same (clipped) fanout, senders never target themselves, and the result
+    comes back as flat ``(R·n)``-cell identifiers ready for mask indexing.
+
+    Returns
+    -------
+    (cells, target_replica):
+        ``cells[i] = target_replica[i] · n + target`` for each drawn
+        message; ``target_replica`` maps every message back to its replica
+        for per-replica message accounting.
+    """
+    k = min(int(fanout), n - 1)
+    if k <= 0 or mem_idx.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    ks = np.full(mem_idx.size, k, dtype=np.int64)
+    matrix, valid = sample_distinct_rows_excluding(rng, n, ks, mem_idx)
+    targets = matrix[valid].astype(np.int64, copy=False)
+    target_replica = np.repeat(rep_idx, k)
+    return target_replica * n + targets, target_replica
+
+
+def simulate_protocol_batch(
+    protocol,
+    n: int,
+    q: float,
+    *,
+    repetitions: int = 20,
+    source: int = 0,
+    seed=None,
+    failure_model: FailureModel | None = None,
+) -> BatchProtocolResult:
+    """Run ``repetitions`` independent executions of ``protocol`` as one array program.
+
+    Semantically each replica is an independent
+    :meth:`~repro.protocols.base.Protocol.run` (fresh failure pattern, fresh
+    protocol randomness); the engine merely advances all replicas in
+    lock-step so every protocol round costs a constant number of numpy
+    operations instead of ``O(members)`` Python calls.
+
+    Parameters
+    ----------
+    protocol:
+        Any :class:`~repro.protocols.base.Protocol`.  The bundled protocols
+        run fully vectorised; subclasses without a batched hook fall back to
+        a scalar replay per replica (same results, no speedup).
+    n, q, source:
+        As for :meth:`~repro.protocols.base.Protocol.run`.
+    repetitions:
+        Number of replicas ``R`` propagated simultaneously.
+    seed:
+        Seed or generator for all randomness of the whole batch.
+    failure_model:
+        Failure-pattern generator; defaults to the paper's
+        :class:`~repro.simulation.failures.UniformCrashModel` at ratio ``q``.
+        Pass a :class:`~repro.simulation.failures.TargetedCrashModel` (or any
+        custom model) to run the whole batch under engineered failures.
+    """
+    n = check_integer("n", n, minimum=2)
+    q = check_probability("q", q)
+    repetitions = check_integer("repetitions", repetitions, minimum=1)
+    source = check_integer("source", source, minimum=0, maximum=n - 1)
+    rng = as_generator(seed)
+    model = failure_model if failure_model is not None else UniformCrashModel(q)
+    failure = model.draw_batch(n, repetitions, rng, source=source)
+    alive = failure.alive.copy()
+    alive[:, source] = True
+
+    delivered, messages, rounds = protocol._disseminate_batch(n, alive, source, rng)
+    delivered = np.asarray(delivered, dtype=bool)
+    delivered &= alive  # failed members never count as delivered
+    delivered[:, source] = True
+    return BatchProtocolResult(
+        protocol=protocol.name,
+        n=n,
+        source=source,
+        alive=alive,
+        delivered=delivered,
+        messages_sent=np.asarray(messages, dtype=np.int64),
+        rounds=np.asarray(rounds, dtype=np.int64),
+        failure=failure,
+    )

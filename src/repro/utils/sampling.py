@@ -8,7 +8,9 @@ granularities:
   partial-permutation crossover).  Used by the scalar simulators and the
   round-based protocol baselines.
 * :func:`sample_distinct_rows` — a whole batch of draws as one array
-  program: draw every row **with replacement** in a single operation and
+  program (with :func:`sample_distinct_rows_excluding` layering the
+  ubiquitous "never draw yourself" exclusion on top): draw every row
+  **with replacement** in a single operation and
   redraw the rare rows that contain a collision, falling back to an exact
   random-key top-``k`` (argpartition over uniform keys — a Gumbel-top-k with
   uniform instead of Gumbel noise, identical selection law) for rows whose
@@ -27,7 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["sample_distinct", "sample_distinct_rows"]
+__all__ = ["sample_distinct", "sample_distinct_rows", "sample_distinct_rows_excluding"]
 
 #: Above this ``k * _NUMPY_CROSSOVER >= population`` threshold the scalar
 #: sampler uses a numpy partial permutation instead of the Python Floyd loop:
@@ -159,3 +161,24 @@ def sample_distinct_rows(
                 sel = np.argsort(keys, axis=1)
             out[sub, :kb] = sel[:, :kb]
     return out, valid
+
+
+def sample_distinct_rows_excluding(
+    rng: np.random.Generator, population: int, ks: np.ndarray, exclude: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise distinct draws from ``[0, population)`` with one excluded value per row.
+
+    ``exclude[i]`` is removed from row ``i``'s candidate set — the "never
+    gossip to yourself" rule every membership view and overlay builder needs.
+    Implemented as a draw from the ``population - 1`` *virtual* slots with
+    the excluded value deleted; drawn slots ``>= exclude[i]`` shift up by one
+    to restore real identifiers.  Returns ``(matrix, valid)`` exactly like
+    :func:`sample_distinct_rows` (``ks`` is additionally clipped to
+    ``population - 1``); the shift happens in place on the freshly drawn
+    matrix, so no extra copy is made.
+    """
+    ks = np.minimum(np.asarray(ks, dtype=np.int64), population - 1)
+    matrix, valid = sample_distinct_rows(rng, population - 1, ks)
+    if matrix.shape[1]:
+        matrix += matrix >= np.asarray(exclude)[:, None]
+    return matrix, valid

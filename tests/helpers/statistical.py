@@ -1,0 +1,156 @@
+"""Shared statistical-equivalence assertions for engine-vs-reference tests.
+
+Every batched engine in this repository (the gossip engine, the graph
+ensemble, the multi-protocol engine) must agree with its scalar reference
+**in distribution**: the two consume randomness in different orders, so
+per-seed outputs differ while every statistic of interest must match.  These
+helpers centralise the comparisons the test suite uses to pin them together,
+replacing the ad-hoc per-file KS/z-test code that used to live in
+``tests/simulation/test_gossip_batch.py``:
+
+* :func:`assert_same_distribution` — two-sample Kolmogorov-Smirnov test on
+  any per-replica statistic (delivery counts, message counts, ...).
+* :func:`assert_same_counts_chisquare` — chi-square homogeneity test on
+  binned delivery counts (the classical categorical check; complements KS,
+  which is weakest in the tails).
+* :func:`assert_reliability_within_band` — tolerance-banded comparison of
+  mean reliabilities: the gap must be explained by the combined Monte-Carlo
+  standard errors or fall inside an absolute band.
+* :func:`assert_means_close` — the same banded comparison for any samples.
+
+All assertions are deterministic given deterministic inputs: the suite runs
+them on fixed seeds, so a failure is a real behavioural regression, not test
+flakiness.  ``alpha`` defaults are deliberately small (0.01): with fixed
+seeds we only need the statistic to be *far* from the rejection region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+__all__ = [
+    "assert_same_distribution",
+    "assert_same_counts_chisquare",
+    "assert_reliability_within_band",
+    "assert_means_close",
+]
+
+
+def assert_same_distribution(a, b, *, alpha: float = 0.01, label: str = "sample") -> None:
+    """Assert two samples come from the same distribution (two-sample KS).
+
+    Parameters
+    ----------
+    a, b:
+        Per-replica statistics from the two engines (any 1-D numeric
+        samples; scalar-engine lists and batched ``(R,)`` arrays alike).
+    alpha:
+        Rejection level: the test fails when the KS p-value drops below it.
+    label:
+        Statistic name used in the failure message.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.size == 0 or b.size == 0:
+        raise ValueError(f"{label}: cannot compare empty samples")
+    result = stats.ks_2samp(a, b)
+    assert result.pvalue > alpha, (
+        f"{label}: KS test rejects equality (p={result.pvalue:.5f} <= {alpha}, "
+        f"statistic={result.statistic:.4f}, means {a.mean():.3f} vs {b.mean():.3f})"
+    )
+
+
+def assert_same_counts_chisquare(
+    a,
+    b,
+    *,
+    alpha: float = 0.01,
+    max_bins: int = 12,
+    label: str = "counts",
+) -> None:
+    """Assert two count samples are homogeneous (chi-square on binned counts).
+
+    The pooled sample is cut at its quantiles into at most ``max_bins``
+    categories (bins with too few observations merge automatically because
+    quantile edges coincide), then a 2×k chi-square homogeneity test runs on
+    the per-engine histograms.  Degenerate cases — both samples constant and
+    equal — pass trivially.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.size == 0 or b.size == 0:
+        raise ValueError(f"{label}: cannot compare empty samples")
+    pooled = np.concatenate([a, b])
+    if np.all(pooled == pooled[0]):
+        return  # both engines produced one identical constant — equivalent
+    edges = np.unique(np.quantile(pooled, np.linspace(0.0, 1.0, max_bins + 1)))
+    if edges.size < 3:
+        # Two distinct values at most: compare their frequencies directly.
+        edges = np.array([pooled.min() - 0.5, np.mean(edges), pooled.max() + 0.5])
+    else:
+        edges[0] -= 0.5
+        edges[-1] += 0.5
+    hist_a, _ = np.histogram(a, bins=edges)
+    hist_b, _ = np.histogram(b, bins=edges)
+    occupied = (hist_a + hist_b) > 0
+    table = np.vstack([hist_a[occupied], hist_b[occupied]])
+    if table.shape[1] < 2:
+        return  # a single occupied category cannot disagree
+    result = stats.chi2_contingency(table)
+    pvalue = result[1]
+    assert pvalue > alpha, (
+        f"{label}: chi-square homogeneity test rejects equality "
+        f"(p={pvalue:.5f} <= {alpha}, {table.shape[1]} categories)"
+    )
+
+
+def assert_means_close(
+    a,
+    b,
+    *,
+    band: float = 0.02,
+    z: float = 4.0,
+    label: str = "statistic",
+) -> None:
+    """Assert two sample means agree within combined standard errors or a band.
+
+    The gap must satisfy ``|mean(a) - mean(b)| < max(z · SE_combined, band)``
+    — the two-sample z-bound with an absolute floor for near-deterministic
+    statistics whose variance collapses to ~0.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.size == 0 or b.size == 0:
+        raise ValueError(f"{label}: cannot compare empty samples")
+    gap = abs(float(a.mean()) - float(b.mean()))
+    combined_se = float(np.sqrt(a.var() / a.size + b.var() / b.size))
+    tolerance = max(z * combined_se, band)
+    assert gap < tolerance, (
+        f"{label}: means differ by {gap:.4f} "
+        f"(> tolerance {tolerance:.4f}; {a.mean():.4f} vs {b.mean():.4f})"
+    )
+
+
+def assert_reliability_within_band(
+    a,
+    b,
+    *,
+    band: float = 0.02,
+    z: float = 4.0,
+    label: str = "reliability",
+) -> None:
+    """Tolerance-banded comparison of per-replica reliability samples.
+
+    Thin wrapper over :func:`assert_means_close` that additionally checks
+    both samples live in ``[0, 1]`` (catching normalisation bugs that a pure
+    mean comparison would let through).
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    for name, sample in (("first", a), ("second", b)):
+        assert np.all((sample >= 0.0) & (sample <= 1.0)), (
+            f"{label}: {name} sample leaves [0, 1] "
+            f"(min={sample.min():.4f}, max={sample.max():.4f})"
+        )
+    assert_means_close(a, b, band=band, z=z, label=label)

@@ -3,7 +3,8 @@
 The batched engine (:func:`simulate_gossip_batch`) must agree with the scalar
 reference (:func:`simulate_gossip_once`) **in distribution**: the two consume
 randomness in different orders, so the tests compare statistics over matched
-replica counts (mean reliability within confidence bounds, KS check on the
+replica counts through the shared harness in ``tests/helpers/statistical.py``
+(tolerance-banded mean reliability, KS and chi-square checks on the
 delivered-count samples) rather than per-seed outputs.
 """
 
@@ -11,7 +12,6 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from scipy import stats
 
 from repro.core.distributions import FixedFanout, PoissonFanout
 from repro.core.poisson_case import poisson_reliability
@@ -21,6 +21,11 @@ from repro.simulation.gossip import (
     simulate_gossip_once,
 )
 from repro.simulation.membership import FullView, UniformPartialView
+from tests.helpers.statistical import (
+    assert_reliability_within_band,
+    assert_same_counts_chisquare,
+    assert_same_distribution,
+)
 
 
 def _scalar_samples(n, dist, q, repetitions, seed, **kwargs):
@@ -157,12 +162,9 @@ class TestDistributionEquivalence:
 
     def test_mean_reliability_within_confidence_bounds(self, matched_runs):
         scalar, batch = matched_runs
-        s = np.array([e.reliability() for e in scalar])
-        b = batch.reliability()
-        # Two-sample z-test bound: the means must lie within 4 combined
-        # standard errors (deterministic seeds — this is a fixed outcome).
-        tolerance = 4.0 * np.sqrt(s.var() / s.size + b.var() / b.size)
-        assert abs(s.mean() - b.mean()) < max(tolerance, 0.02)
+        assert_reliability_within_band(
+            [e.reliability() for e in scalar], batch.reliability()
+        )
 
     def test_conditional_mean_matches_analysis(self, matched_runs):
         _, batch = matched_runs
@@ -170,19 +172,20 @@ class TestDistributionEquivalence:
         conditional = batch.reliability()[spread].mean()
         assert conditional == pytest.approx(poisson_reliability(4.0, 0.9), abs=0.01)
 
-    def test_delivered_counts_ks(self, matched_runs):
+    def test_delivered_counts_distribution(self, matched_runs):
         scalar, batch = matched_runs
-        s = np.array([e.n_delivered() for e in scalar])
-        b = batch.n_delivered()
-        ks = stats.ks_2samp(s, b)
-        assert ks.pvalue > 0.01
+        s = [e.n_delivered() for e in scalar]
+        assert_same_distribution(s, batch.n_delivered(), label="delivered counts")
+        assert_same_counts_chisquare(s, batch.n_delivered(), label="delivered counts")
 
-    def test_messages_and_duplicates_ks(self, matched_runs):
+    def test_messages_and_duplicates_distribution(self, matched_runs):
         scalar, batch = matched_runs
-        s_msg = np.array([e.messages_sent for e in scalar])
-        s_dup = np.array([e.duplicates for e in scalar])
-        assert stats.ks_2samp(s_msg, batch.messages_sent).pvalue > 0.01
-        assert stats.ks_2samp(s_dup, batch.duplicates).pvalue > 0.01
+        assert_same_distribution(
+            [e.messages_sent for e in scalar], batch.messages_sent, label="messages"
+        )
+        assert_same_distribution(
+            [e.duplicates for e in scalar], batch.duplicates, label="duplicates"
+        )
 
     def test_rounds_distribution_close(self, matched_runs):
         scalar, batch = matched_runs
@@ -193,8 +196,9 @@ class TestDistributionEquivalence:
         dist = FixedFanout(4)
         scalar = _scalar_samples(500, dist, 0.8, 100, seed=300)
         batch = simulate_gossip_batch(500, dist, 0.8, repetitions=100, seed=400)
-        s = np.array([e.n_delivered() for e in scalar])
-        assert stats.ks_2samp(s, batch.n_delivered()).pvalue > 0.01
+        assert_same_distribution(
+            [e.n_delivered() for e in scalar], batch.n_delivered(), label="delivered counts"
+        )
 
     def test_partial_view_equivalence(self):
         view = UniformPartialView(300, 10, seed=13)
@@ -203,8 +207,9 @@ class TestDistributionEquivalence:
         batch = simulate_gossip_batch(
             300, dist, 0.9, repetitions=80, seed=600, membership=view
         )
-        s = np.array([e.n_delivered() for e in scalar])
-        assert stats.ks_2samp(s, batch.n_delivered()).pvalue > 0.01
+        assert_same_distribution(
+            [e.n_delivered() for e in scalar], batch.n_delivered(), label="delivered counts"
+        )
 
     def test_subcritical_equivalence(self):
         # Below the percolation threshold both engines die out fast.
@@ -213,4 +218,4 @@ class TestDistributionEquivalence:
         batch = simulate_gossip_batch(800, dist, 1.0, repetitions=60, seed=800)
         s = np.array([e.n_delivered() for e in scalar])
         assert s.mean() < 20 and batch.n_delivered().mean() < 20
-        assert stats.ks_2samp(s, batch.n_delivered()).pvalue > 0.01
+        assert_same_distribution(s, batch.n_delivered(), label="delivered counts")

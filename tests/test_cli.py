@@ -27,6 +27,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "fig99"])
 
+    def test_run_scale_presets(self):
+        args = build_parser().parse_args(["run", "protocol_comparison", "--scale", "small"])
+        assert args.experiment == "protocol_comparison"
+        assert args.scale == pytest.approx(0.1)
+        assert build_parser().parse_args(["run", "fig4"]).scale == pytest.approx(1.0)
+        args = build_parser().parse_args(["run", "fig4", "--scale", "0.25"])
+        assert args.scale == pytest.approx(0.25)
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig4", "--scale", "tiny"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig4", "--scale", "1.5"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "not_an_experiment"])
+
 
 class TestAnalyze:
     def test_prints_reliability(self, capsys):
@@ -89,3 +103,18 @@ class TestExperiment:
         assert main(["experiment", "fig6", "--scale", "0.1"]) == 0
         out = capsys.readouterr().out
         assert "Fig. 6" in out or "fig6" in out
+
+
+class TestRun:
+    def test_protocol_comparison_small_runs_all_protocols(self, capsys):
+        assert main(["run", "protocol_comparison", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        for protocol in ("flooding", "pbcast", "lpbcast", "rdg", "fixed-fanout", "random-fanout"):
+            assert protocol in out
+
+    def test_run_matches_experiment_subcommand(self, capsys):
+        assert main(["run", "fig6", "--scale", "0.1"]) == 0
+        run_out = capsys.readouterr().out
+        assert main(["experiment", "fig6", "--scale", "0.1"]) == 0
+        experiment_out = capsys.readouterr().out
+        assert run_out == experiment_out
