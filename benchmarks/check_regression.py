@@ -1,0 +1,182 @@
+"""Benchmark-regression gate for the CI smoke benchmarks.
+
+The smoke benchmarks (``bench_microbenchmarks.py``, ``bench_graph_ensemble.py``,
+``bench_protocol_batch.py``, ``bench_loss_resilience.py``) each emit a
+``BENCH_*.json`` perf record whose head-to-head **speedup ratios**
+(batched engine time / scalar reference time, inverted) are the numbers the
+repository actually promises.  This script compares the freshly produced
+records against the baselines committed under ``benchmarks/baselines/`` and
+exits non-zero when any ratio regressed by more than the threshold
+(default: 25%), so a perf regression can no longer merge green.
+
+Speedup *ratios* are compared rather than wall-clock seconds because ratios
+divide out the runner's absolute speed: a slow CI machine slows both sides
+of every head-to-head.  The committed baselines are deliberately set ~20%
+below locally observed smoke-scale means so ordinary runner noise does not
+trip the gate while an engine-level regression (which typically halves a
+ratio) still does.
+
+Usage::
+
+    python benchmarks/check_regression.py                  # gate ./BENCH_*.json
+    python benchmarks/check_regression.py --threshold 0.4  # looser gate
+    python benchmarks/check_regression.py --current-dir /tmp/records
+
+Exit status: 0 when every ratio holds, 1 on any regression or missing
+record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Records gated by default: every BENCH_*.json the smoke benchmarks emit.
+DEFAULT_RECORDS = (
+    "BENCH_engine.json",
+    "BENCH_graphs.json",
+    "BENCH_protocols.json",
+    "BENCH_loss.json",
+)
+
+__all__ = ["collect_speedups", "compare_records", "check_directories", "main"]
+
+
+def collect_speedups(record: dict, prefix: str = "") -> dict[str, float]:
+    """Extract every ``speedup`` ratio from a perf record, keyed by its path.
+
+    Walks the record recursively so one function understands both the flat
+    single-benchmark records (``{"speedup": 14.9}``) and the per-protocol
+    nested ones (``{"protocols": {"rdg": {"speedup": 83.1}}}``), yielding
+    dotted keys like ``"speedup"`` and ``"protocols.rdg.speedup"``.
+    """
+    speedups: dict[str, float] = {}
+    for key, value in record.items():
+        path = f"{prefix}{key}"
+        if key == "speedup" and isinstance(value, (int, float)):
+            speedups[path] = float(value)
+        elif isinstance(value, dict):
+            speedups.update(collect_speedups(value, prefix=f"{path}."))
+    return speedups
+
+
+def compare_records(
+    baseline: dict, current: dict, *, threshold: float, label: str = "record"
+) -> list[str]:
+    """Compare one current record's speedups against its baseline.
+
+    Returns a list of human-readable problems: a ratio that fell more than
+    ``threshold`` below its baseline, or a baseline ratio missing from the
+    current record (a silently dropped benchmark must not pass the gate).
+    Ratios that improved or appeared anew are fine.
+    """
+    problems: list[str] = []
+    baseline_speedups = collect_speedups(baseline)
+    current_speedups = collect_speedups(current)
+    for key, reference in sorted(baseline_speedups.items()):
+        if key not in current_speedups:
+            problems.append(f"{label}: baseline ratio {key!r} missing from current record")
+            continue
+        floor = reference * (1.0 - threshold)
+        observed = current_speedups[key]
+        if observed < floor:
+            problems.append(
+                f"{label}: {key} regressed to {observed:.2f}x "
+                f"(baseline {reference:.2f}x, floor {floor:.2f}x at "
+                f"threshold {threshold:.0%})"
+            )
+    return problems
+
+
+def check_directories(
+    baseline_dir: Path,
+    current_dir: Path,
+    *,
+    threshold: float,
+    records=DEFAULT_RECORDS,
+) -> list[str]:
+    """Gate every committed baseline record against its freshly produced twin."""
+    problems: list[str] = []
+    baselines_found = 0
+    for name in records:
+        baseline_path = baseline_dir / name
+        current_path = current_dir / name
+        if not baseline_path.exists():
+            # No baseline committed for this record: nothing to gate on.
+            print(f"  {name}: no committed baseline, skipped")
+            continue
+        baselines_found += 1
+        if not current_path.exists():
+            problems.append(f"{name}: baseline committed but no current record produced")
+            continue
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+        with open(current_path) as fh:
+            current = json.load(fh)
+        record_problems = compare_records(
+            baseline, current, threshold=threshold, label=name
+        )
+        problems.extend(record_problems)
+        ratios = collect_speedups(current)
+        status = "FAIL" if record_problems else "ok"
+        print(f"  {name}: {len(ratios)} ratio(s) checked — {status}")
+    if baselines_found == 0:
+        problems.append(f"no baseline records found under {baseline_dir}")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when a BENCH_*.json speedup ratio regressed past the threshold."
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=Path(__file__).resolve().parent / "baselines",
+        help="directory holding the committed baseline records",
+    )
+    parser.add_argument(
+        "--current-dir",
+        type=Path,
+        default=Path("."),
+        help="directory holding the freshly produced records (default: cwd)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum tolerated fractional slowdown of any speedup ratio (default 0.25)",
+    )
+    parser.add_argument(
+        "--records",
+        nargs="+",
+        default=list(DEFAULT_RECORDS),
+        help="record file names to gate (default: all BENCH_*.json records)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.threshold < 1.0:
+        parser.error(f"threshold must be in [0, 1), got {args.threshold}")
+
+    print(
+        f"benchmark-regression gate: baselines={args.baseline_dir}, "
+        f"threshold={args.threshold:.0%}"
+    )
+    problems = check_directories(
+        args.baseline_dir,
+        args.current_dir,
+        threshold=args.threshold,
+        records=args.records,
+    )
+    if problems:
+        print("\nBENCHMARK REGRESSIONS:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("all speedup ratios within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

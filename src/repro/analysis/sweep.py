@@ -11,9 +11,7 @@ benchmark is ``benchmarks/bench_ablation_distributions.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
-
-import numpy as np
+from typing import Mapping, Sequence
 
 from repro.core.distributions import (
     FanoutDistribution,

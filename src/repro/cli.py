@@ -121,7 +121,10 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "figure",
         choices=[spec.experiment_id for spec in list_experiments()],
-        help="experiment id (fig2 .. fig7, sec4_percolation_validation, protocol_comparison)",
+        help=(
+            "experiment id (fig2 .. fig7, sec4_percolation_validation, "
+            "protocol_comparison, loss_resilience)"
+        ),
     )
     experiment.add_argument(
         "--scale",
@@ -136,7 +139,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "experiment",
         choices=[spec.experiment_id for spec in list_experiments()],
-        help="experiment id (fig2 .. fig7, sec4_percolation_validation, protocol_comparison)",
+        help=(
+            "experiment id (fig2 .. fig7, sec4_percolation_validation, "
+            "protocol_comparison, loss_resilience)"
+        ),
     )
     run.add_argument(
         "--scale",

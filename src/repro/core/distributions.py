@@ -34,7 +34,6 @@ from scipy import stats
 
 from repro.utils.rng import as_generator
 from repro.utils.validation import (
-    check_in_range,
     check_integer,
     check_non_negative,
     check_positive,

@@ -18,8 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.core.distributions import FanoutDistribution, PoissonFanout
 from repro.core.percolation import PercolationResult, percolation_analysis
 from repro.core.reliability import reliability as analytical_reliability

@@ -28,7 +28,7 @@ import math
 from dataclasses import dataclass
 
 from repro.core.distributions import FanoutDistribution
-from repro.core.generating import GossipGeneratingFunctions, build_generating_functions
+from repro.core.generating import build_generating_functions
 from repro.utils.validation import check_positive, check_probability
 
 __all__ = [

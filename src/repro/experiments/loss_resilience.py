@@ -1,0 +1,352 @@
+"""Loss resilience — the protocol zoo under a lossy network plane.
+
+The paper's reliability analysis assumes perfect point-to-point delivery:
+a gossip arc either exists or it does not, and every sent message arrives.
+Real deployments drop messages.  This experiment sweeps the whole baseline
+protocol zoo over a grid of independent per-message loss probabilities
+(crossed with the nonfailed ratio ``q``) through the **vectorised loss
+plane** of the batched multi-protocol engine
+(:func:`repro.simulation.protocol_batch.simulate_protocol_batch` with a
+:class:`~repro.simulation.network.NetworkModel`), and reports per
+``(protocol, q, loss)`` cell:
+
+* mean/std reliability (delivered nonfailed members / nonfailed members),
+* mean message cost per member,
+* the realised drop rate (``messages_dropped / messages_sent`` — a direct
+  check that the engine thins with the requested Bernoulli law), and
+* the atomicity rate.
+
+The expected shape: push-only gossip (fixed/random fanout) degrades first —
+a lost push is never retried, so loss eats directly into the effective
+fanout (``f_eff = f · (1 - loss)``) and pushes the process toward its
+percolation threshold; the redundant and pull-based protocols (flooding's
+link redundancy, pbcast's anti-entropy digests, RDG's NACK pulls) buy back
+reliability at extra message cost.  At ``loss = 0`` every cell must be
+statistically indistinguishable from the loss-free ``protocol_comparison``
+numbers — the CI smoke run and the test suite pin exactly that through the
+shared statistical harness.
+
+Replicas are fanned out in chunked batches over
+:func:`repro.utils.parallel.parallel_map` exactly like
+``protocol_comparison``; ``engine="scalar"`` replays the per-execution
+reference protocols with the same :class:`NetworkModel` loss law (slow —
+kept for head-to-head benchmarks and equivalence pinning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.experiments.protocol_comparison import protocol_zoo
+from repro.simulation.network import NetworkModel
+from repro.simulation.protocol_batch import simulate_protocol_batch
+from repro.utils.parallel import parallel_map
+from repro.utils.rng import as_generator, spawn_seeds
+from repro.utils.tables import format_table
+from repro.utils.validation import check_choice, check_integer, check_probability
+
+__all__ = [
+    "LossResilienceConfig",
+    "LossPoint",
+    "LossResilienceResult",
+    "run_loss_resilience",
+]
+
+EXPERIMENT_ID = "loss_resilience"
+PAPER_REFERENCE = (
+    "Sec. 3 model assumption lifted — protocol-zoo reliability under independent "
+    "per-message loss (loss_probability x q grid, batched lossy engine)"
+)
+
+#: Replicas per worker task when the sweep fans out over processes (same
+#: convention as ``protocol_comparison`` so fixed seeds reproduce anywhere).
+_CHUNK_REPETITIONS = 8
+
+
+@dataclass(frozen=True)
+class LossResilienceConfig:
+    """Configuration of the loss-resilience sweep.
+
+    Attributes
+    ----------
+    n:
+        Group size.
+    qs:
+        Nonfailed-ratio grid (supercritical regimes — loss is the axis under
+        study, failures are the nuisance dimension).
+    loss_probabilities:
+        Independent per-message drop probabilities to sweep.
+    mean_fanout:
+        Per-member effort budget (push fanout / overlay degree).
+    rounds:
+        Round horizon of the periodic protocols (pbcast, lpbcast, RDG).
+    repetitions:
+        Independent executions per ``(protocol, q, loss)`` cell.
+    seed:
+        Base seed; every cell derives an independent stream.
+    engine:
+        ``"batch"`` (default) or ``"scalar"`` (per-execution reference).
+    processes:
+        Worker processes; 1 keeps execution serial and deterministic.
+    """
+
+    n: int = 1000
+    qs: tuple = (0.9, 1.0)
+    loss_probabilities: tuple = (0.0, 0.05, 0.1, 0.2, 0.4)
+    mean_fanout: int = 4
+    rounds: int = 8
+    repetitions: int = 40
+    seed: int = 20082009
+    engine: str = "batch"
+    processes: int | None = 1
+
+    def __post_init__(self):
+        check_integer("n", self.n, minimum=2)
+        if not self.qs:
+            raise ValueError("qs must be non-empty")
+        for q in self.qs:
+            check_probability("q", q)
+        if not self.loss_probabilities:
+            raise ValueError("loss_probabilities must be non-empty")
+        for loss in self.loss_probabilities:
+            check_probability("loss_probability", loss)
+        check_integer("mean_fanout", self.mean_fanout, minimum=1)
+        check_integer("rounds", self.rounds, minimum=1)
+        check_integer("repetitions", self.repetitions, minimum=1)
+        check_choice("engine", self.engine, ("batch", "scalar"))
+
+    def protocols(self) -> tuple:
+        """Return the six ``(protocol_id, Protocol)`` rows at equal effort."""
+        return protocol_zoo(self.mean_fanout, self.rounds)
+
+    def with_scale(self, factor: float) -> "LossResilienceConfig":
+        """Return a shrunken copy for quick runs (CLI ``--scale``)."""
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"scale factor must be in (0, 1], got {factor}")
+        if factor >= 0.999:
+            return self
+        return replace(
+            self,
+            n=max(200, int(self.n * factor)),
+            repetitions=max(8, int(self.repetitions * factor)),
+        )
+
+
+@dataclass(frozen=True)
+class LossPoint:
+    """Measurements of one ``(protocol, q, loss_probability)`` cell."""
+
+    protocol: str
+    q: float
+    loss_probability: float
+    repetitions: int
+    reliability: float
+    reliability_std: float
+    messages_per_member: float
+    drop_rate: float
+    atomic_rate: float
+
+
+@dataclass(frozen=True)
+class LossResilienceResult:
+    """Result of the loss-resilience sweep."""
+
+    config: LossResilienceConfig
+    points: tuple
+
+    def protocols(self) -> list[str]:
+        """Return the protocol ids in run order (deduplicated)."""
+        seen: dict[str, None] = {}
+        for p in self.points:
+            seen.setdefault(p.protocol, None)
+        return list(seen)
+
+    def series_for(self, protocol: str, q: float) -> list[LossPoint]:
+        """Return one ``(protocol, q)`` loss series, ordered by loss."""
+        return sorted(
+            (
+                p
+                for p in self.points
+                if p.protocol == protocol and abs(p.q - q) < 1e-12
+            ),
+            key=lambda p: p.loss_probability,
+        )
+
+    def point(self, protocol: str, q: float, loss_probability: float) -> LossPoint:
+        """Return one cell; raise ``KeyError`` if absent."""
+        for p in self.points:
+            if (
+                p.protocol == protocol
+                and abs(p.q - q) < 1e-12
+                and abs(p.loss_probability - loss_probability) < 1e-12
+            ):
+                return p
+        raise KeyError(
+            f"no point for protocol={protocol!r}, q={q!r}, "
+            f"loss_probability={loss_probability!r}"
+        )
+
+    def to_table(self, *, precision: int = 4) -> str:
+        """Render the full grid as an aligned text table."""
+        headers = [
+            "protocol",
+            "q",
+            "loss",
+            "reps",
+            "reliability",
+            "std",
+            "msgs/member",
+            "drop rate",
+            "atomic",
+        ]
+        rows = [
+            [
+                p.protocol,
+                p.q,
+                p.loss_probability,
+                p.repetitions,
+                p.reliability,
+                p.reliability_std,
+                p.messages_per_member,
+                p.drop_rate,
+                p.atomic_rate,
+            ]
+            for p in self.points
+        ]
+        return format_table(headers, rows, precision=precision)
+
+    def check_shape(self, *, tolerance: float = 0.05) -> list[str]:
+        """Check the qualitative loss-resilience claims.
+
+        1. The realised drop rate tracks the requested loss probability
+           (the Bernoulli thinning is calibrated).
+        2. Per ``(protocol, q)``, reliability does not *increase* with loss
+           (beyond Monte-Carlo slack) — dropping messages never helps.
+        3. At the highest loss on the grid, flooding stays at least as
+           reliable as plain fixed-fanout push gossip (redundancy pays).
+        4. At ``loss = 0`` (when on the grid) no messages are dropped at all.
+        """
+        problems: list[str] = []
+        for p in self.points:
+            if abs(p.drop_rate - p.loss_probability) > max(0.03, 0.25 * p.loss_probability):
+                problems.append(
+                    f"{p.protocol} q={p.q} loss={p.loss_probability}: realised drop "
+                    f"rate {p.drop_rate:.4f} is off the requested probability"
+                )
+            if p.loss_probability == 0.0 and p.drop_rate != 0.0:
+                problems.append(
+                    f"{p.protocol} q={p.q}: drops at loss_probability=0 "
+                    f"(drop rate {p.drop_rate:.4f})"
+                )
+        for protocol in self.protocols():
+            for q in self.config.qs:
+                series = self.series_for(protocol, q)
+                for lo, hi in zip(series, series[1:]):
+                    if hi.reliability > lo.reliability + 2 * tolerance:
+                        problems.append(
+                            f"{protocol} q={q}: reliability rises from "
+                            f"{lo.reliability:.4f} (loss={lo.loss_probability}) to "
+                            f"{hi.reliability:.4f} (loss={hi.loss_probability})"
+                        )
+        top_loss = max(self.config.loss_probabilities)
+        for q in self.config.qs:
+            try:
+                flood = self.point("flooding", q, top_loss)
+                fixed = self.point("fixed-fanout", q, top_loss)
+            except KeyError:
+                continue
+            if flood.reliability < fixed.reliability - tolerance:
+                problems.append(
+                    f"q={q} loss={top_loss}: flooding {flood.reliability:.4f} below "
+                    f"fixed-fanout {fixed.reliability:.4f}"
+                )
+        return problems
+
+
+def _run_cell_batch(args) -> tuple:
+    """Process-pool worker: one chunk of replicas through the lossy batched engine.
+
+    The :class:`NetworkModel` is built inside the worker from the plain float
+    so nothing unpicklable (latency closures) crosses the process boundary.
+    """
+    protocol, n, q, loss, seed, repetitions = args
+    result = simulate_protocol_batch(
+        protocol,
+        n,
+        q,
+        repetitions=repetitions,
+        seed=seed,
+        network=NetworkModel(loss_probability=loss),
+    )
+    return (
+        result.reliability().tolist(),
+        result.messages_per_member().tolist(),
+        result.messages_sent.tolist(),
+        result.messages_dropped.tolist(),
+        result.is_atomic().tolist(),
+    )
+
+
+def _run_cell_scalar(args) -> tuple:
+    """Process-pool worker: one chunk of replicas through the scalar reference."""
+    protocol, n, q, loss, seed, repetitions = args
+    rng = as_generator(seed)
+    network = NetworkModel(loss_probability=loss)
+    reliability, messages, sent, dropped, atomic = [], [], [], [], []
+    for _ in range(repetitions):
+        result = protocol.run(n, q, seed=rng, network=network)
+        reliability.append(result.reliability())
+        messages.append(result.messages_per_member())
+        sent.append(result.messages_sent)
+        dropped.append(result.messages_dropped)
+        atomic.append(result.is_atomic())
+    return reliability, messages, sent, dropped, atomic
+
+
+def run_loss_resilience(config: LossResilienceConfig | None = None) -> LossResilienceResult:
+    """Run the sweep over the full ``(protocol, q, loss_probability)`` grid."""
+    config = config or LossResilienceConfig()
+    worker = _run_cell_batch if config.engine == "batch" else _run_cell_scalar
+    serial = config.processes is not None and config.processes <= 1
+    n_chunks = 1 if serial else max(1, -(-config.repetitions // _CHUNK_REPETITIONS))
+    chunk_sizes = [len(c) for c in np.array_split(np.arange(config.repetitions), n_chunks)]
+
+    points: list[LossPoint] = []
+    protocols = config.protocols()
+    n_cells = len(protocols) * len(config.qs) * len(config.loss_probabilities)
+    cell_seeds = iter(spawn_seeds(n_cells, config.seed))
+    for protocol_id, protocol in protocols:
+        for q in config.qs:
+            for loss in config.loss_probabilities:
+                seeds = spawn_seeds(n_chunks, next(cell_seeds))
+                work = [
+                    (protocol, config.n, q, loss, seed, size)
+                    for seed, size in zip(seeds, chunk_sizes)
+                    if size > 0
+                ]
+                chunks = parallel_map(
+                    worker, work, processes=config.processes, serial_threshold=1
+                )
+                reliability = np.concatenate([np.asarray(c[0], dtype=float) for c in chunks])
+                messages = np.concatenate([np.asarray(c[1], dtype=float) for c in chunks])
+                sent = np.concatenate([np.asarray(c[2], dtype=np.int64) for c in chunks])
+                dropped = np.concatenate([np.asarray(c[3], dtype=np.int64) for c in chunks])
+                atomic = np.concatenate([np.asarray(c[4], dtype=bool) for c in chunks])
+                points.append(
+                    LossPoint(
+                        protocol=protocol_id,
+                        q=float(q),
+                        loss_probability=float(loss),
+                        repetitions=config.repetitions,
+                        reliability=float(reliability.mean()),
+                        reliability_std=(
+                            float(reliability.std(ddof=1)) if reliability.size > 1 else 0.0
+                        ),
+                        messages_per_member=float(messages.mean()),
+                        drop_rate=float(dropped.sum() / max(1, sent.sum())),
+                        atomic_rate=float(atomic.mean()),
+                    )
+                )
+    return LossResilienceResult(config=config, points=tuple(points))

@@ -42,6 +42,7 @@ __all__ = [
     "ProtocolComparisonConfig",
     "ProtocolPoint",
     "ProtocolComparisonResult",
+    "protocol_zoo",
     "run_protocol_comparison",
 ]
 
@@ -55,6 +56,35 @@ PAPER_REFERENCE = (
 #: A function of ``repetitions`` alone so a fixed seed reproduces the same
 #: numbers on any machine (same convention as the reliability runner).
 _CHUNK_REPETITIONS = 8
+
+
+def protocol_zoo(mean_fanout: int, rounds: int) -> tuple:
+    """Return the six ``(protocol_id, Protocol)`` rows at equal per-member effort.
+
+    The single place the protocol-level experiments (``protocol_comparison``,
+    ``loss_resilience``) and benchmarks instantiate the zoo, so every workload
+    compares exactly the same dimensioning: ``mean_fanout`` is the push fanout
+    of every gossip protocol and the overlay degree of flooding; ``rounds``
+    bounds the periodic protocols (pbcast, lpbcast, RDG).
+    """
+    from repro.protocols import (
+        FixedFanoutGossip,
+        FloodingProtocol,
+        LpbcastProtocol,
+        PbcastProtocol,
+        RandomFanoutGossip,
+        RouteDrivenGossip,
+    )
+
+    f = int(mean_fanout)
+    return (
+        ("flooding", FloodingProtocol(degree=f)),
+        ("pbcast", PbcastProtocol(fanout=f, rounds=rounds, broadcast_reach=0.8)),
+        ("lpbcast", LpbcastProtocol(fanout=f, rounds=rounds, view_size=30)),
+        ("rdg", RouteDrivenGossip(fanout=f, rounds=rounds, pull_fanout=1)),
+        ("fixed-fanout", FixedFanoutGossip(f)),
+        ("random-fanout", RandomFanoutGossip(PoissonFanout(float(f)))),
+    )
 
 
 @dataclass(frozen=True)
@@ -104,24 +134,7 @@ class ProtocolComparisonConfig:
 
     def protocols(self) -> tuple:
         """Return the six ``(protocol_id, Protocol)`` rows at equal effort."""
-        from repro.protocols import (
-            FixedFanoutGossip,
-            FloodingProtocol,
-            LpbcastProtocol,
-            PbcastProtocol,
-            RandomFanoutGossip,
-            RouteDrivenGossip,
-        )
-
-        f = self.mean_fanout
-        return (
-            ("flooding", FloodingProtocol(degree=f)),
-            ("pbcast", PbcastProtocol(fanout=f, rounds=self.rounds, broadcast_reach=0.8)),
-            ("lpbcast", LpbcastProtocol(fanout=f, rounds=self.rounds, view_size=30)),
-            ("rdg", RouteDrivenGossip(fanout=f, rounds=self.rounds, pull_fanout=1)),
-            ("fixed-fanout", FixedFanoutGossip(f)),
-            ("random-fanout", RandomFanoutGossip(PoissonFanout(float(f)))),
-        )
+        return protocol_zoo(self.mean_fanout, self.rounds)
 
     def with_scale(self, factor: float) -> "ProtocolComparisonConfig":
         """Return a shrunken copy for quick runs (CLI ``--scale``)."""

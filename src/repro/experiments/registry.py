@@ -16,6 +16,7 @@ from repro.experiments import (
     fig5_reliability_5000,
     fig6_success_f4_q09,
     fig7_success_f6_q06,
+    loss_resilience,
     protocol_comparison,
     sec4_percolation_validation,
 )
@@ -103,6 +104,13 @@ _REGISTRY: dict[str, ExperimentSpec] = {
         paper_reference=protocol_comparison.PAPER_REFERENCE,
         config_factory=protocol_comparison.ProtocolComparisonConfig,
         runner=protocol_comparison.run_protocol_comparison,
+        analytical_only=False,
+    ),
+    "loss_resilience": ExperimentSpec(
+        experiment_id="loss_resilience",
+        paper_reference=loss_resilience.PAPER_REFERENCE,
+        config_factory=loss_resilience.LossResilienceConfig,
+        runner=loss_resilience.run_loss_resilience,
         analytical_only=False,
     ),
 }

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.simulation.failures import FailureModel, FailurePattern, UniformCrashModel
+from repro.simulation.network import NetworkModel
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_integer, check_probability
 
@@ -52,6 +53,9 @@ class ProtocolResult:
         Total point-to-point messages (data + control) sent by the protocol.
     rounds:
         Number of protocol rounds / gossip hops executed.
+    messages_dropped:
+        Messages lost in transit (0 unless the run used a lossy
+        :class:`~repro.simulation.network.NetworkModel`).
     """
 
     protocol: str
@@ -60,6 +64,7 @@ class ProtocolResult:
     delivered: np.ndarray
     messages_sent: int
     rounds: int
+    messages_dropped: int = 0
 
     def n_alive(self) -> int:
         """Return the number of nonfailed members."""
@@ -102,12 +107,17 @@ class Protocol(ABC):
         seed=None,
         failure_pattern: FailurePattern | None = None,
         failure_model: FailureModel | None = None,
+        network: NetworkModel | None = None,
     ) -> ProtocolResult:
         """Disseminate one message through a group with fail-stop failures.
 
         Failures come from ``failure_pattern`` when supplied, else from one
         draw of ``failure_model`` (default: the paper's uniform-``q`` crash
-        model) — the same pluggable layer the batched engine uses.
+        model) — the same pluggable layer the batched engine uses.  An
+        optional ``network`` drops each point-to-point message independently
+        with ``network.loss_probability``; the model is reset on entry so its
+        counters (``messages_sent``, ``messages_dropped``, ``total_latency``)
+        describe exactly this execution and never leak across runs.
         """
         n = check_integer("n", n, minimum=2)
         q = check_probability("q", q)
@@ -118,7 +128,17 @@ class Protocol(ABC):
             failure_pattern = model.draw(n, rng, source=source)
         alive = failure_pattern.alive.copy()
         alive[source] = True
-        delivered, messages, rounds = self._disseminate(n, alive, source, rng)
+        if network is None:
+            # Legacy contract: external subclasses may implement the
+            # loss-free 4-argument ``_disseminate`` signature.
+            delivered, messages, rounds = self._disseminate(n, alive, source, rng)
+            dropped = 0
+        else:
+            network.reset()
+            delivered, messages, rounds = self._disseminate(
+                n, alive, source, rng, network=network
+            )
+            dropped = network.messages_dropped
         delivered = np.asarray(delivered, dtype=bool)
         delivered &= alive  # failed members never count as delivered
         delivered[source] = True
@@ -129,6 +149,7 @@ class Protocol(ABC):
             delivered=delivered,
             messages_sent=int(messages),
             rounds=int(rounds),
+            messages_dropped=int(dropped),
         )
 
     def run_batch(
@@ -140,6 +161,7 @@ class Protocol(ABC):
         source: int = 0,
         seed=None,
         failure_model: FailureModel | None = None,
+        network: NetworkModel | None = None,
     ):
         """Run ``repetitions`` independent executions as one ``(R, n)`` array program.
 
@@ -157,33 +179,60 @@ class Protocol(ABC):
             source=source,
             seed=seed,
             failure_model=failure_model,
+            network=network,
         )
 
     @abstractmethod
     def _disseminate(
-        self, n: int, alive: np.ndarray, source: int, rng: np.random.Generator
+        self,
+        n: int,
+        alive: np.ndarray,
+        source: int,
+        rng: np.random.Generator,
+        network: NetworkModel | None = None,
     ) -> tuple[np.ndarray, int, int]:
-        """Protocol-specific dissemination; returns (delivered mask, messages, rounds)."""
+        """Protocol-specific dissemination; returns (delivered mask, messages, rounds).
+
+        ``network`` (when not ``None``) supplies the independent message-loss
+        law via :meth:`~repro.simulation.network.NetworkModel.draw_loss`; the
+        engine only passes it when a lossy run was requested, so legacy
+        4-argument implementations keep working loss-free.
+        """
 
     def _disseminate_batch(
-        self, n: int, alive: np.ndarray, source: int, rng: np.random.Generator
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        self,
+        n: int,
+        alive: np.ndarray,
+        source: int,
+        rng: np.random.Generator,
+        network: NetworkModel | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Batched dissemination hook: ``(R, n)`` alive masks in, per-replica results out.
 
-        Returns ``(delivered (R, n), messages_sent (R,), rounds (R,))``.  The
-        base implementation replays the scalar :meth:`_disseminate` once per
+        Returns ``(delivered (R, n), messages_sent (R,), messages_dropped
+        (R,), rounds (R,))`` — the engine also accepts the legacy 3-tuple
+        without the drop counts from external subclasses.  The base
+        implementation replays the scalar :meth:`_disseminate` once per
         replica — correct for any protocol; every bundled protocol overrides
         it with a vectorised array program.
         """
         repetitions = int(alive.shape[0])
         delivered = np.zeros((repetitions, n), dtype=bool)
         messages = np.zeros(repetitions, dtype=np.int64)
+        dropped = np.zeros(repetitions, dtype=np.int64)
         rounds = np.zeros(repetitions, dtype=np.int64)
         for replica in range(repetitions):
-            replica_delivered, replica_messages, replica_rounds = self._disseminate(
-                n, alive[replica], source, rng
-            )
+            if network is None:
+                replica_delivered, replica_messages, replica_rounds = self._disseminate(
+                    n, alive[replica], source, rng
+                )
+            else:
+                dropped_before = network.messages_dropped
+                replica_delivered, replica_messages, replica_rounds = self._disseminate(
+                    n, alive[replica], source, rng, network=network
+                )
+                dropped[replica] = network.messages_dropped - dropped_before
             delivered[replica] = np.asarray(replica_delivered, dtype=bool)
             messages[replica] = int(replica_messages)
             rounds[replica] = int(replica_rounds)
-        return delivered, messages, rounds
+        return delivered, messages, dropped, rounds

@@ -28,7 +28,7 @@ class FixedFanoutGossip(Protocol):
     def __init__(self, fanout: int):
         self.fanout = check_integer("fanout", fanout, minimum=0)
 
-    def _disseminate(self, n, alive, source, rng):
+    def _disseminate(self, n, alive, source, rng, network=None):
         received = np.zeros(n, dtype=bool)
         delivered = np.zeros(n, dtype=bool)
         received[source] = True
@@ -47,6 +47,8 @@ class FixedFanoutGossip(Protocol):
                 break
             targets = np.concatenate(batches)
             messages += int(targets.size)
+            if network is not None:
+                targets = targets[network.draw_loss(rng, targets.size)]
             unique_targets = np.unique(targets)
             fresh = unique_targets[~received[unique_targets]]
             received[fresh] = True
@@ -55,10 +57,11 @@ class FixedFanoutGossip(Protocol):
             frontier = newly_alive
         return delivered, messages, rounds
 
-    def _disseminate_batch(self, n, alive, source, rng):
+    def _disseminate_batch(self, n, alive, source, rng, network=None):
         # The constant-fanout push process IS the paper's algorithm with a
         # degenerate distribution, so the batched gossip engine does all the
-        # work; failures arrive through the pre-drawn alive masks.
+        # work; failures arrive through the pre-drawn alive masks and message
+        # loss through the shared network hook.
         result = simulate_gossip_batch(
             n,
             FixedFanout(self.fanout),
@@ -67,5 +70,6 @@ class FixedFanoutGossip(Protocol):
             source=source,
             seed=rng,
             alive=alive,
+            network=network,
         )
-        return result.delivered, result.messages_sent, result.rounds
+        return result.delivered, result.messages_sent, result.messages_dropped, result.rounds

@@ -39,7 +39,7 @@ class FloodingProtocol(Protocol):
     def __init__(self, degree: int = 4):
         self.degree = check_integer("degree", degree, minimum=1)
 
-    def _disseminate(self, n, alive, source, rng):
+    def _disseminate(self, n, alive, source, rng, network=None):
         # Build the overlay: each member picks `degree` neighbours; links are
         # symmetric, so the adjacency is the union of both directions.
         neighbours: list[set[int]] = [set() for _ in range(n)]
@@ -60,8 +60,12 @@ class FloodingProtocol(Protocol):
             for member in frontier:
                 if not alive[member] and member != source:
                     continue
-                for peer in neighbours[member]:
-                    messages += 1
+                peers = sorted(neighbours[member])
+                messages += len(peers)
+                if network is not None:
+                    keep = network.draw_loss(rng, len(peers))
+                    peers = [peer for peer, kept in zip(peers, keep) if kept]
+                for peer in peers:
                     if not delivered[peer]:
                         delivered[peer] = True
                         if alive[peer]:
@@ -69,7 +73,7 @@ class FloodingProtocol(Protocol):
             frontier = next_frontier
         return delivered, messages, rounds
 
-    def _disseminate_batch(self, n, alive, source, rng):
+    def _disseminate_batch(self, n, alive, source, rng, network=None):
         repetitions = int(alive.shape[0])
         cells = repetitions * n
         degree = min(self.degree, n - 1)
@@ -103,6 +107,7 @@ class FloodingProtocol(Protocol):
         delivered = np.zeros(cells, dtype=bool)
         alive_flat = alive.ravel()
         messages = np.zeros(repetitions, dtype=np.int64)
+        dropped = np.zeros(repetitions, dtype=np.int64)
         rounds = np.zeros(repetitions, dtype=np.int64)
 
         frontier = np.arange(repetitions, dtype=np.int64) * n + source
@@ -124,8 +129,17 @@ class FloodingProtocol(Protocol):
                 + np.repeat(indptr[frontier], fanout)
             )
             targets = arc_dst[positions]
+            if network is not None:
+                # Thin the wave: each link transmission is dropped
+                # independently; a dropped arc is never retried (flooding
+                # forwards on every link exactly once).
+                keep, dropped_round = network.draw_loss_batch(
+                    rng, targets.astype(np.int64, copy=False) // n, repetitions
+                )
+                dropped += dropped_round
+                targets = targets[keep]
             fresh = np.unique(targets)
             fresh = fresh[~delivered[fresh]]
             delivered[fresh] = True
             frontier = fresh[alive_flat[fresh]]
-        return delivered.reshape(repetitions, n), messages, rounds
+        return delivered.reshape(repetitions, n), messages, dropped, rounds

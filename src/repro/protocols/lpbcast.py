@@ -38,7 +38,7 @@ class LpbcastProtocol(Protocol):
         self.rounds = check_integer("rounds", rounds, minimum=1)
         self.view_size = check_integer("view_size", view_size, minimum=1)
 
-    def _disseminate(self, n, alive, source, rng):
+    def _disseminate(self, n, alive, source, rng, network=None):
         view = UniformPartialView(n, min(self.view_size, n - 1), seed=rng)
         has_message = np.zeros(n, dtype=bool)
         has_message[source] = True
@@ -58,6 +58,8 @@ class LpbcastProtocol(Protocol):
                 idx = sample_distinct(rng, member_view.size, k)
                 targets = member_view[idx]
                 messages += int(targets.size)
+                if network is not None:
+                    targets = targets[network.draw_loss(rng, targets.size)]
                 for target in targets:
                     target = int(target)
                     if alive[target] and not has_message[target]:
@@ -66,7 +68,7 @@ class LpbcastProtocol(Protocol):
                 has_message[np.array(newly, dtype=np.int64)] = True
         return has_message, messages, rounds_executed
 
-    def _disseminate_batch(self, n, alive, source, rng):
+    def _disseminate_batch(self, n, alive, source, rng, network=None):
         repetitions = int(alive.shape[0])
         size = min(self.view_size, n - 1)
         # Every replica gets its own fresh partial-view assignment, drawn for
@@ -85,6 +87,7 @@ class LpbcastProtocol(Protocol):
         has_flat = has_message.ravel()
         alive_flat = alive.ravel()
         messages = np.zeros(repetitions, dtype=np.int64)
+        dropped = np.zeros(repetitions, dtype=np.int64)
         rounds = np.zeros(repetitions, dtype=np.int64)
 
         # lpbcast is periodic: every replica gossips for the full round
@@ -111,6 +114,10 @@ class LpbcastProtocol(Protocol):
             target_replica = np.repeat(rep_idx, fanout)
             messages += np.bincount(target_replica, minlength=repetitions)
             cells = target_replica * n + targets.astype(np.int64, copy=False)
+            if network is not None:
+                keep, dropped_round = network.draw_loss_batch(rng, target_replica, repetitions)
+                dropped += dropped_round
+                cells = cells[keep]
             fresh = np.unique(cells[alive_flat[cells] & ~has_flat[cells]])
             has_flat[fresh] = True
-        return has_message, messages, rounds
+        return has_message, messages, dropped, rounds

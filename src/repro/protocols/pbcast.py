@@ -39,7 +39,7 @@ class PbcastProtocol(Protocol):
         self.rounds = check_integer("rounds", rounds, minimum=0)
         self.broadcast_reach = check_probability("broadcast_reach", broadcast_reach)
 
-    def _disseminate(self, n, alive, source, rng):
+    def _disseminate(self, n, alive, source, rng, network=None):
         has_message = np.zeros(n, dtype=bool)
         has_message[source] = True
         messages = 0
@@ -48,6 +48,13 @@ class PbcastProtocol(Protocol):
         reached = rng.random(n) < self.broadcast_reach
         reached[source] = True
         messages += n - 1  # the broadcast costs one transmission per member
+        if network is not None:
+            # Each broadcast leg is additionally dropped by the transport
+            # (the source never broadcasts to itself).
+            keep = np.ones(n, dtype=bool)
+            others = np.flatnonzero(np.arange(n) != source)
+            keep[others] = network.draw_loss(rng, n - 1)
+            reached &= keep
         # Only members that are up can buffer the message.
         has_message |= reached & alive
 
@@ -62,23 +69,28 @@ class PbcastProtocol(Protocol):
             for member in holders:
                 targets = sample_distinct(rng, n, self.fanout, exclude=int(member))
                 messages += int(targets.size)  # digest messages
+                if network is not None:
+                    targets = targets[network.draw_loss(rng, targets.size)]
                 for target in targets:
                     target = int(target)
                     if alive[target] and not has_message[target]:
-                        # The peer notices the gap and pulls the payload.
+                        # The peer notices the gap and pulls the payload
+                        # (round trip modelled as one lossy message).
                         messages += 1
-                        newly.append(target)
+                        if network is None or network.draw_loss(rng, 1)[0]:
+                            newly.append(target)
             if not newly:
                 # Converged: every digest found an up-to-date peer.
                 break
             has_message[np.array(newly, dtype=np.int64)] = True
         return has_message, messages, rounds_executed
 
-    def _disseminate_batch(self, n, alive, source, rng):
+    def _disseminate_batch(self, n, alive, source, rng, network=None):
         repetitions = int(alive.shape[0])
         has_message = np.zeros((repetitions, n), dtype=bool)
         has_message[:, source] = True
         messages = np.zeros(repetitions, dtype=np.int64)
+        dropped = np.zeros(repetitions, dtype=np.int64)
         rounds = np.zeros(repetitions, dtype=np.int64)
 
         # Phase 1: one (R, n) draw realises every replica's unreliable
@@ -86,6 +98,17 @@ class PbcastProtocol(Protocol):
         reached = rng.random((repetitions, n)) < self.broadcast_reach
         reached[:, source] = True
         messages += n - 1
+        if network is not None:
+            # Every replica's n-1 broadcast legs thinned in one flat draw.
+            keep, dropped_bcast = network.draw_loss_batch(
+                rng,
+                np.repeat(np.arange(repetitions, dtype=np.int64), n - 1),
+                repetitions,
+            )
+            dropped += dropped_bcast
+            keep_matrix = np.ones((repetitions, n), dtype=bool)
+            keep_matrix[:, np.arange(n) != source] = keep.reshape(repetitions, n - 1)
+            reached &= keep_matrix
         has_message |= reached & alive
         has_flat = has_message.ravel()
         alive_flat = alive.ravel()
@@ -107,12 +130,25 @@ class PbcastProtocol(Protocol):
                 n, rep_idx, mem_idx, self.fanout, rng
             )
             messages += np.bincount(target_replica, minlength=repetitions)  # digests
+            if network is not None:
+                keep, dropped_round = network.draw_loss_batch(rng, target_replica, repetitions)
+                dropped += dropped_round
+                cells = cells[keep]
+                target_replica = target_replica[keep]
             # A digest landing on a nonfailed peer that misses the message
             # triggers one pull each (duplicates within the round included,
-            # as in the scalar engine).
+            # as in the scalar engine); the pull round trip is one lossy
+            # message — only surviving pulls recover the payload.
             pulling = alive_flat[cells] & ~has_flat[cells]
             messages += np.bincount(target_replica[pulling], minlength=repetitions)
-            fresh = np.unique(cells[pulling])
+            pull_cells = cells[pulling]
+            if network is not None:
+                keep, dropped_round = network.draw_loss_batch(
+                    rng, target_replica[pulling], repetitions
+                )
+                dropped += dropped_round
+                pull_cells = pull_cells[keep]
+            fresh = np.unique(pull_cells)
             active &= np.bincount(fresh // n, minlength=repetitions) > 0
             has_flat[fresh] = True
-        return has_message, messages, rounds
+        return has_message, messages, dropped, rounds

@@ -28,7 +28,7 @@ class RandomFanoutGossip(Protocol):
             )
         self.distribution = distribution
 
-    def _disseminate(self, n, alive, source, rng):
+    def _disseminate(self, n, alive, source, rng, network=None):
         import numpy as np
 
         pattern = FailurePattern(alive=alive, timing=np.full(n, None, dtype=object))
@@ -39,10 +39,11 @@ class RandomFanoutGossip(Protocol):
             source=source,
             seed=rng,
             failure_pattern=pattern,
+            network=network,
         )
         return execution.delivered, execution.messages_sent, execution.rounds
 
-    def _disseminate_batch(self, n, alive, source, rng):
+    def _disseminate_batch(self, n, alive, source, rng, network=None):
         result = simulate_gossip_batch(
             n,
             self.distribution,
@@ -51,5 +52,6 @@ class RandomFanoutGossip(Protocol):
             source=source,
             seed=rng,
             alive=alive,
+            network=network,
         )
-        return result.delivered, result.messages_sent, result.rounds
+        return result.delivered, result.messages_sent, result.messages_dropped, result.rounds

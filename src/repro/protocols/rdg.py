@@ -38,7 +38,7 @@ class RouteDrivenGossip(Protocol):
         self.rounds = check_integer("rounds", rounds, minimum=1)
         self.pull_fanout = check_integer("pull_fanout", pull_fanout, minimum=0)
 
-    def _disseminate(self, n, alive, source, rng):
+    def _disseminate(self, n, alive, source, rng, network=None):
         has_message = np.zeros(n, dtype=bool)
         has_message[source] = True
         messages = 0
@@ -53,6 +53,8 @@ class RouteDrivenGossip(Protocol):
             for member in holders:
                 targets = sample_distinct(rng, n, self.fanout, exclude=int(member))
                 messages += int(targets.size)
+                if network is not None:
+                    targets = targets[network.draw_loss(rng, targets.size)]
                 for target in targets:
                     target = int(target)
                     if alive[target] and not has_message[target]:
@@ -66,23 +68,28 @@ class RouteDrivenGossip(Protocol):
                 for member in missing:
                     peers = sample_distinct(rng, n, self.pull_fanout, exclude=int(member))
                     messages += int(peers.size)  # pull requests
+                    if network is not None:
+                        # A lost request never reaches its peer.
+                        peers = peers[network.draw_loss(rng, peers.size)]
                     hit = peers[has_message[peers] & alive[peers]]
                     if hit.size:
                         messages += 1  # one response carrying the payload
-                        recovered.append(int(member))
+                        if network is None or network.draw_loss(rng, 1)[0]:
+                            recovered.append(int(member))
                 if recovered:
                     has_message[np.array(recovered, dtype=np.int64)] = True
             if bool(np.all(has_message[alive])):
                 break
         return has_message, messages, rounds_executed
 
-    def _disseminate_batch(self, n, alive, source, rng):
+    def _disseminate_batch(self, n, alive, source, rng, network=None):
         repetitions = int(alive.shape[0])
         has_message = np.zeros((repetitions, n), dtype=bool)
         has_message[:, source] = True
         has_flat = has_message.ravel()
         alive_flat = alive.ravel()
         messages = np.zeros(repetitions, dtype=np.int64)
+        dropped = np.zeros(repetitions, dtype=np.int64)
         rounds = np.zeros(repetitions, dtype=np.int64)
 
         active = np.ones(repetitions, dtype=bool)
@@ -100,6 +107,12 @@ class RouteDrivenGossip(Protocol):
                     n, rep_idx, mem_idx, self.fanout, rng
                 )
                 messages += np.bincount(target_replica, minlength=repetitions)
+                if network is not None:
+                    keep, dropped_round = network.draw_loss_batch(
+                        rng, target_replica, repetitions
+                    )
+                    dropped += dropped_round
+                    cells = cells[keep]
                 fresh = np.unique(cells[alive_flat[cells] & ~has_flat[cells]])
                 has_flat[fresh] = True
             # ---------------------------------------------------------- pull
@@ -111,12 +124,27 @@ class RouteDrivenGossip(Protocol):
                         n, miss_rep, miss_mem, pull_fanout, rng
                     )
                     messages += np.bincount(peer_replica, minlength=repetitions)  # requests
-                    # One response per missing member whose queried peers
-                    # include at least one nonfailed holder.
+                    # One response per missing member whose *surviving*
+                    # requests include at least one nonfailed holder; the
+                    # response itself is one more lossy message.
                     hit = has_flat[peer_cells] & alive_flat[peer_cells]
+                    if network is not None:
+                        keep, dropped_round = network.draw_loss_batch(
+                            rng, peer_replica, repetitions
+                        )
+                        dropped += dropped_round
+                        hit &= keep
                     puller = np.repeat(np.arange(miss_rep.size), pull_fanout)
-                    recovered = np.bincount(puller[hit], minlength=miss_rep.size) > 0
-                    messages += np.bincount(miss_rep[recovered], minlength=repetitions)
+                    responding = np.bincount(puller[hit], minlength=miss_rep.size) > 0
+                    messages += np.bincount(miss_rep[responding], minlength=repetitions)
+                    recovered = responding
+                    if network is not None:
+                        keep, dropped_round = network.draw_loss_batch(
+                            rng, miss_rep[responding], repetitions
+                        )
+                        dropped += dropped_round
+                        recovered = responding.copy()
+                        recovered[np.flatnonzero(responding)[~keep]] = False
                     has_flat[miss_rep[recovered] * n + miss_mem[recovered]] = True
             active &= np.any(alive & ~has_message, axis=1)
-        return has_message, messages, rounds
+        return has_message, messages, dropped, rounds

@@ -19,7 +19,11 @@ driver (:mod:`repro.simulation.runner`).  The batched treatment extends to the
 whole baseline-protocol zoo through
 :mod:`repro.simulation.protocol_batch` (``simulate_protocol_batch`` — ``(R, n)``
 array programs for flooding, pbcast, lpbcast, RDG, and the fanout gossips,
-with vectorised pluggable failure drawing).
+with vectorised pluggable failure drawing) and to the network plane: pass a
+:class:`~repro.simulation.network.NetworkModel` to any engine and every
+round's send list is thinned with one vectorised Bernoulli loss draw
+(``NetworkModel.draw_loss_batch``), with per-replica
+``messages_sent``/``messages_dropped`` accounting.
 """
 
 from repro.simulation.engine import EventScheduler, Event
@@ -32,7 +36,12 @@ from repro.simulation.failures import (
     UniformCrashModel,
     CrashTiming,
 )
-from repro.simulation.network import NetworkModel, latency_constant, latency_uniform
+from repro.simulation.network import (
+    NetworkModel,
+    latency_constant,
+    latency_exponential,
+    latency_uniform,
+)
 from repro.simulation.gossip import (
     BatchGossipResult,
     GossipExecution,
@@ -66,6 +75,7 @@ __all__ = [
     "CrashTiming",
     "NetworkModel",
     "latency_constant",
+    "latency_exponential",
     "latency_uniform",
     "GossipExecution",
     "BatchGossipResult",

@@ -40,7 +40,7 @@ import numpy as np
 
 from repro.core.distributions import FanoutDistribution
 from repro.simulation.engine import EventScheduler
-from repro.simulation.failures import CrashTiming, FailurePattern, UniformCrashModel
+from repro.simulation.failures import FailurePattern, UniformCrashModel
 from repro.simulation.membership import FullView, MembershipView
 from repro.simulation.metrics import ExecutionMetrics
 from repro.simulation.network import NetworkModel
@@ -78,6 +78,8 @@ class GossipExecution:
         Total messages sent by forwarding members.
     duplicates:
         Messages that arrived at members which already had the message.
+    messages_dropped:
+        Messages lost in transit by the network model (0 without one).
     """
 
     n: int
@@ -87,6 +89,7 @@ class GossipExecution:
     rounds: int
     messages_sent: int
     duplicates: int
+    messages_dropped: int = 0
 
     def n_alive(self) -> int:
         """Return the number of nonfailed members."""
@@ -151,6 +154,7 @@ def simulate_gossip_once(
     seed=None,
     membership: MembershipView | None = None,
     failure_pattern: FailurePattern | None = None,
+    network: NetworkModel | None = None,
 ) -> GossipExecution:
     """Run one execution of the general gossip algorithm (fast frontier simulation).
 
@@ -172,6 +176,13 @@ def simulate_gossip_once(
     failure_pattern:
         Pre-drawn failure pattern (used by repeated-execution experiments
         that want to hold failures fixed across executions).
+    network:
+        Optional lossy transport: every sent message is independently dropped
+        with ``network.loss_probability`` (latency is irrelevant to the
+        round-abstracted simulation).  Dropped messages count as sent but
+        never arrive, so they are neither deliveries nor duplicates.  With
+        ``loss_probability == 0`` the execution is bit-for-bit identical to
+        the ``network=None`` path.
     """
     n = check_integer("n", n, minimum=1)
     q = check_probability("q", q)
@@ -193,6 +204,7 @@ def simulate_gossip_once(
 
     messages_sent = 0
     duplicates = 0
+    messages_dropped = 0
     rounds = 0
 
     frontier = np.array([source], dtype=np.int64)
@@ -208,6 +220,10 @@ def simulate_gossip_once(
             break
         all_targets = np.concatenate(target_batches)
         messages_sent += int(all_targets.size)
+        if network is not None:
+            keep = network.draw_loss(rng, all_targets.size)
+            messages_dropped += int(all_targets.size - keep.sum())
+            all_targets = all_targets[keep]
         # Deliveries are processed as a batch: members that already had the
         # message (or appear twice in the batch) count as duplicates; failed
         # targets "receive" but never forward (crash-after-receive) or the
@@ -229,6 +245,7 @@ def simulate_gossip_once(
         rounds=rounds,
         messages_sent=messages_sent,
         duplicates=duplicates,
+        messages_dropped=messages_dropped,
     )
 
 
@@ -255,6 +272,9 @@ class BatchGossipResult:
         ``(R,)`` total messages sent per replica.
     duplicates:
         ``(R,)`` messages that hit already-infected members, per replica.
+    messages_dropped:
+        ``(R,)`` messages lost in transit per replica (all zero without a
+        lossy network).
     """
 
     n: int
@@ -264,6 +284,13 @@ class BatchGossipResult:
     rounds: np.ndarray
     messages_sent: np.ndarray
     duplicates: np.ndarray
+    messages_dropped: np.ndarray | None = None
+
+    def __post_init__(self):
+        if self.messages_dropped is None:
+            object.__setattr__(
+                self, "messages_dropped", np.zeros_like(np.asarray(self.messages_sent))
+            )
 
     @property
     def repetitions(self) -> int:
@@ -304,6 +331,7 @@ class BatchGossipResult:
             rounds=int(self.rounds[replica]),
             messages_sent=int(self.messages_sent[replica]),
             duplicates=int(self.duplicates[replica]),
+            messages_dropped=int(self.messages_dropped[replica]),
         )
 
     def metrics(self) -> list[ExecutionMetrics]:
@@ -339,6 +367,7 @@ def simulate_gossip_batch(
     seed=None,
     membership: MembershipView | None = None,
     alive: np.ndarray | None = None,
+    network: NetworkModel | None = None,
 ) -> BatchGossipResult:
     """Run ``repetitions`` independent gossip executions as one array program.
 
@@ -361,6 +390,13 @@ def simulate_gossip_batch(
     alive:
         Optional pre-drawn ``(R, n)`` alive masks (replaces the uniform-``q``
         failure draw; the source column is forced alive either way).
+    network:
+        Optional lossy transport shared by all replicas: every round's flat
+        send list is thinned with one independent Bernoulli draw
+        (:meth:`~repro.simulation.network.NetworkModel.draw_loss_batch`) and
+        the per-replica drop counts surface as ``messages_dropped``.  With
+        ``loss_probability == 0`` the batch is bit-for-bit identical to the
+        ``network=None`` path.
     """
     n = check_integer("n", n, minimum=1)
     q = check_probability("q", q)
@@ -389,6 +425,7 @@ def simulate_gossip_batch(
     rounds = np.zeros(repetitions, dtype=np.int64)
     messages_sent = np.zeros(repetitions, dtype=np.int64)
     duplicates = np.zeros(repetitions, dtype=np.int64)
+    messages_dropped = np.zeros(repetitions, dtype=np.int64)
 
     frontier = np.zeros((repetitions, n), dtype=bool)
     frontier[:, source] = True
@@ -416,13 +453,23 @@ def simulate_gossip_batch(
         target_replica = replica_idx[forwarding][sender_idx]
         sent_per_replica = np.bincount(target_replica, minlength=repetitions)
         messages_sent += sent_per_replica
+        arrived_per_replica = sent_per_replica
+        if network is not None:
+            keep, dropped = network.draw_loss_batch(rng, target_replica, repetitions)
+            messages_dropped += dropped
+            arrived_per_replica = sent_per_replica - dropped
+            targets = targets[keep]
+            target_replica = target_replica[keep]
+            if not targets.size:
+                continue
 
         # Deliveries are booked per (replica, target) cell: duplicates are
-        # targets already infected or repeated within this round's batch.
+        # targets already infected or repeated within this round's batch
+        # (dropped messages never arrive, so they are not duplicates).
         cell_ids = target_replica * n + targets
         unique_cells = np.unique(cell_ids)
         fresh = unique_cells[~received_flat[unique_cells]]
-        duplicates += sent_per_replica - np.bincount(fresh // n, minlength=repetitions)
+        duplicates += arrived_per_replica - np.bincount(fresh // n, minlength=repetitions)
         received_flat[fresh] = True
         newly_alive = fresh[alive_flat[fresh]]
         delivered_flat[newly_alive] = True
@@ -436,6 +483,7 @@ def simulate_gossip_batch(
         rounds=rounds,
         messages_sent=messages_sent,
         duplicates=duplicates,
+        messages_dropped=messages_dropped,
     )
 
 
@@ -466,6 +514,7 @@ def simulate_gossip_event_driven(
     if view.n != n:
         raise ValueError(f"membership view is for n={view.n}, expected n={n}")
     net = network if network is not None else NetworkModel()
+    dropped_before = net.messages_dropped
 
     if failure_pattern is None:
         failure_pattern = UniformCrashModel(q).draw(n, rng, source=source)
@@ -512,4 +561,5 @@ def simulate_gossip_event_driven(
         rounds=int(state["max_depth"]) + 1 if delivered.sum() > 0 else 0,
         messages_sent=int(state["messages_sent"]),
         duplicates=duplicates,
+        messages_dropped=int(net.messages_dropped - dropped_before),
     )

@@ -1,4 +1,4 @@
-"""Message-transport model for the event-driven simulator.
+"""Message-transport model for the event-driven and batched simulators.
 
 The analytical model abstracts the network away entirely (a gossip arc either
 exists or it does not), but the event-driven reference simulator and the
@@ -7,6 +7,16 @@ latency and optional loss.  Keeping it in one small class also documents the
 substitution: the paper's MATLAB simulation had no network model either, so
 the default configuration (zero loss, unit latency) adds nothing beyond
 ordering events in time.
+
+The same model drives the vectorised loss plane of the batched engines:
+:meth:`NetworkModel.draw_loss` thins one scalar engine's per-round send list
+and :meth:`NetworkModel.draw_loss_batch` thins a whole ``(R, n, fanout)``
+round of the batched engines with one Bernoulli draw, so the fast paths model
+exactly the independent-loss law the event-driven reference implements one
+:meth:`NetworkModel.transmit` call at a time.  Both hooks short-circuit at
+``loss_probability == 0`` **without consuming randomness**, which is what
+makes the lossy engines bit-for-bit identical to the loss-free ones at
+``loss_probability = 0``.
 """
 
 from __future__ import annotations
@@ -54,14 +64,18 @@ class NetworkModel:
     loss_probability:
         Probability that any given message is silently dropped.
     messages_sent, messages_dropped:
-        Counters accumulated across :meth:`transmit` calls (reset with
-        :meth:`reset_counters`).
+        Counters accumulated across :meth:`transmit` / :meth:`draw_loss` /
+        :meth:`draw_loss_batch` calls (zeroed with :meth:`reset`).
+    total_latency:
+        Sum of the latencies of every delivered message (the latency
+        bookkeeping side of the counters; zeroed with :meth:`reset`).
     """
 
     latency: Callable[[np.random.Generator], float] = field(default_factory=latency_constant)
     loss_probability: float = 0.0
     messages_sent: int = 0
     messages_dropped: int = 0
+    total_latency: float = 0.0
 
     def __post_init__(self):
         self.loss_probability = check_probability("loss_probability", self.loss_probability)
@@ -77,10 +91,76 @@ class NetworkModel:
         if self.loss_probability > 0.0 and rng.random() < self.loss_probability:
             self.messages_dropped += 1
             return False
-        deliver(self.latency(rng))
+        delay = self.latency(rng)
+        self.total_latency += delay
+        deliver(delay)
         return True
 
-    def reset_counters(self) -> None:
-        """Zero the message counters."""
+    def draw_loss(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Thin ``count`` messages at once; return the boolean keep mask.
+
+        The vectorised equivalent of ``count`` :meth:`transmit` calls without
+        the latency leg: counters are updated, ``mask[i]`` is ``True`` iff
+        message ``i`` survives.  At ``loss_probability == 0`` (or
+        ``count == 0``) the mask is all-``True`` and **no randomness is
+        consumed**, so a loss-free network leaves the caller's RNG stream —
+        and therefore its per-seed results — untouched.
+        """
+        count = int(count)
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self.messages_sent += count
+        if count == 0 or self.loss_probability <= 0.0:
+            return np.ones(count, dtype=bool)
+        keep = as_generator(rng).random(count) >= self.loss_probability
+        self.messages_dropped += count - int(keep.sum())
+        return keep
+
+    def draw_loss_batch(
+        self,
+        rng: np.random.Generator,
+        target_replica: np.ndarray,
+        repetitions: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Thin one batched round's flat send list with independent drops.
+
+        Parameters
+        ----------
+        target_replica:
+            Replica identifier of every in-flight message, shape ``(M,)``
+            (the batched engines already carry this for message accounting).
+        repetitions:
+            Number of replicas ``R`` in the batch.
+
+        Returns
+        -------
+        (keep, dropped_per_replica):
+            ``keep`` is the ``(M,)`` boolean survival mask;
+            ``dropped_per_replica`` books the losses back to their replicas,
+            shape ``(R,)``.  Counters accumulate the batch totals.  Like
+            :meth:`draw_loss`, the zero-loss path consumes no randomness.
+        """
+        target_replica = np.asarray(target_replica, dtype=np.int64)
+        count = int(target_replica.size)
+        self.messages_sent += count
+        if count == 0 or self.loss_probability <= 0.0:
+            return np.ones(count, dtype=bool), np.zeros(repetitions, dtype=np.int64)
+        keep = as_generator(rng).random(count) >= self.loss_probability
+        dropped = np.bincount(target_replica[~keep], minlength=repetitions)
+        self.messages_dropped += count - int(keep.sum())
+        return keep, dropped.astype(np.int64, copy=False)
+
+    def reset(self) -> None:
+        """Zero the message counters and the latency bookkeeping.
+
+        Called by :meth:`repro.protocols.base.Protocol.run` between replicas
+        so counters always describe exactly one execution and never leak
+        across runs.
+        """
         self.messages_sent = 0
         self.messages_dropped = 0
+        self.total_latency = 0.0
+
+    def reset_counters(self) -> None:
+        """Backwards-compatible alias of :meth:`reset`."""
+        self.reset()

@@ -18,6 +18,12 @@ This module extends that treatment from the paper's algorithm to **every**
   with batched view sampling, RDG = batched push masks + pull masks per
   round), while the base class provides a scalar-replay fallback so any
   external subclass works unbatched;
+* an optional :class:`~repro.simulation.network.NetworkModel` adds the
+  vectorised message-loss plane: each round's flat send list is thinned with
+  one independent Bernoulli draw
+  (:meth:`~repro.simulation.network.NetworkModel.draw_loss_batch`) and the
+  per-replica ``messages_sent`` / ``messages_dropped`` accounting surfaces on
+  :class:`BatchProtocolResult`;
 * the scalar :meth:`~repro.protocols.base.Protocol.run` stays the exact
   behavioural reference — ``tests/protocols/test_protocol_batch.py`` pins
   each batched protocol to its scalar pin through the shared statistical
@@ -39,6 +45,7 @@ from repro.simulation.failures import (
     FailurePatternBatch,
     UniformCrashModel,
 )
+from repro.simulation.network import NetworkModel
 from repro.utils.rng import as_generator
 from repro.utils.sampling import sample_distinct_rows_excluding
 from repro.utils.validation import check_integer, check_probability
@@ -72,6 +79,9 @@ class BatchProtocolResult:
         ``(R, n)`` boolean masks of nonfailed members holding the message.
     messages_sent:
         ``(R,)`` total point-to-point messages per replica.
+    messages_dropped:
+        ``(R,)`` messages lost in transit per replica (all zero unless a
+        lossy :class:`~repro.simulation.network.NetworkModel` was supplied).
     rounds:
         ``(R,)`` protocol rounds / gossip hops executed per replica.
     failure:
@@ -85,6 +95,7 @@ class BatchProtocolResult:
     alive: np.ndarray
     delivered: np.ndarray
     messages_sent: np.ndarray
+    messages_dropped: np.ndarray
     rounds: np.ndarray
     failure: FailurePatternBatch
 
@@ -113,6 +124,11 @@ class BatchProtocolResult:
         """Return the per-replica message cost normalised by group size."""
         return self.messages_sent / self.n
 
+    def drop_rate(self) -> np.ndarray:
+        """Return the per-replica fraction of sent messages lost in transit."""
+        sent = np.maximum(self.messages_sent, 1)
+        return self.messages_dropped / sent
+
     def result(self, replica: int):
         """Return one replica as a scalar :class:`~repro.protocols.base.ProtocolResult`."""
         from repro.protocols.base import ProtocolResult
@@ -125,6 +141,7 @@ class BatchProtocolResult:
             delivered=self.delivered[replica],
             messages_sent=int(self.messages_sent[replica]),
             rounds=int(self.rounds[replica]),
+            messages_dropped=int(self.messages_dropped[replica]),
         )
 
 
@@ -170,6 +187,7 @@ def simulate_protocol_batch(
     source: int = 0,
     seed=None,
     failure_model: FailureModel | None = None,
+    network: NetworkModel | None = None,
 ) -> BatchProtocolResult:
     """Run ``repetitions`` independent executions of ``protocol`` as one array program.
 
@@ -196,6 +214,14 @@ def simulate_protocol_batch(
         :class:`~repro.simulation.failures.UniformCrashModel` at ratio ``q``.
         Pass a :class:`~repro.simulation.failures.TargetedCrashModel` (or any
         custom model) to run the whole batch under engineered failures.
+    network:
+        Optional lossy :class:`~repro.simulation.network.NetworkModel`: every
+        point-to-point message of every replica is independently dropped with
+        ``network.loss_probability`` (the same loss law the event-driven
+        reference engine applies per :meth:`~repro.simulation.network.NetworkModel.transmit`
+        call).  The model is reset first so its counters describe this batch
+        only.  With ``loss_probability == 0`` the batch is bit-for-bit
+        identical to the ``network=None`` path.
     """
     n = check_integer("n", n, minimum=2)
     q = check_probability("q", q)
@@ -207,7 +233,19 @@ def simulate_protocol_batch(
     alive = failure.alive.copy()
     alive[:, source] = True
 
-    delivered, messages, rounds = protocol._disseminate_batch(n, alive, source, rng)
+    if network is None:
+        # Legacy hook contract: external subclasses may still implement the
+        # loss-free 4-argument signature, so only thread the network through
+        # when one was actually requested.
+        out = protocol._disseminate_batch(n, alive, source, rng)
+    else:
+        network.reset()
+        out = protocol._disseminate_batch(n, alive, source, rng, network=network)
+    if len(out) == 4:
+        delivered, messages, dropped, rounds = out
+    else:  # (delivered, messages, rounds) from a loss-free legacy hook
+        delivered, messages, rounds = out
+        dropped = np.zeros(repetitions, dtype=np.int64)
     delivered = np.asarray(delivered, dtype=bool)
     delivered &= alive  # failed members never count as delivered
     delivered[:, source] = True
@@ -218,6 +256,7 @@ def simulate_protocol_batch(
         alive=alive,
         delivered=delivered,
         messages_sent=np.asarray(messages, dtype=np.int64),
+        messages_dropped=np.asarray(dropped, dtype=np.int64),
         rounds=np.asarray(rounds, dtype=np.int64),
         failure=failure,
     )

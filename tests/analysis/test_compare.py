@@ -8,7 +8,6 @@ import numpy as np
 import pytest
 
 from repro.analysis.compare import compare_series, compare_sweep, threshold_crossing
-from repro.core.distributions import PoissonFanout
 from repro.simulation.runner import reliability_sweep
 
 

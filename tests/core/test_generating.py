@@ -10,7 +10,6 @@ from hypothesis import strategies as st
 from repro.core.distributions import FixedFanout, GeometricFanout, PoissonFanout
 from repro.core.generating import (
     GeneratingFunction,
-    GossipGeneratingFunctions,
     build_generating_functions,
 )
 

@@ -17,6 +17,7 @@ class TestRegistry:
             "fig5",
             "fig6",
             "fig7",
+            "loss_resilience",
             "protocol_comparison",
             "sec4_percolation_validation",
         ]

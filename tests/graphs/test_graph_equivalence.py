@@ -18,7 +18,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from scipy import stats
 
-from repro.core.distributions import PoissonFanout
 from repro.graphs.components import (
     UnionFind,
     component_labels,

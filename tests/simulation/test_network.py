@@ -83,3 +83,101 @@ class TestNetworkModel:
         seen = []
         net.transmit(rng, seen.append)
         assert seen == [4.0]
+
+
+class TestLatencyBookkeeping:
+    def test_transmit_accumulates_total_latency(self, rng):
+        net = NetworkModel(latency=latency_constant(2.0))
+        for _ in range(5):
+            net.transmit(rng, lambda latency: None)
+        assert net.total_latency == pytest.approx(10.0)
+
+    def test_dropped_messages_add_no_latency(self, rng):
+        net = NetworkModel(latency=latency_constant(2.0), loss_probability=1.0)
+        for _ in range(5):
+            net.transmit(rng, lambda latency: None)
+        assert net.total_latency == 0.0
+
+    def test_reset_clears_counters_and_latency(self, rng):
+        net = NetworkModel(latency=latency_constant(3.0), loss_probability=0.5)
+        for _ in range(50):
+            net.transmit(rng, lambda latency: None)
+        assert net.messages_sent == 50
+        assert net.total_latency > 0.0
+        net.reset()
+        assert net.messages_sent == 0
+        assert net.messages_dropped == 0
+        assert net.total_latency == 0.0
+
+    def test_reset_counters_alias_clears_latency_too(self, rng):
+        # Regression: the old reset_counters left total_latency behind.
+        net = NetworkModel(latency=latency_constant(1.5))
+        net.transmit(rng, lambda latency: None)
+        net.reset_counters()
+        assert net.total_latency == 0.0
+
+
+class TestDrawLoss:
+    def test_zero_loss_keeps_everything_without_randomness(self, rng):
+        net = NetworkModel(loss_probability=0.0)
+        state_before = rng.bit_generator.state
+        keep = net.draw_loss(rng, 100)
+        assert keep.all() and keep.shape == (100,)
+        assert rng.bit_generator.state == state_before  # no stream consumption
+        assert net.messages_sent == 100
+        assert net.messages_dropped == 0
+
+    def test_full_loss_drops_everything(self, rng):
+        net = NetworkModel(loss_probability=1.0)
+        keep = net.draw_loss(rng, 40)
+        assert not keep.any()
+        assert net.messages_dropped == 40
+
+    def test_partial_loss_rate(self, rng):
+        net = NetworkModel(loss_probability=0.3)
+        keep = net.draw_loss(rng, 20_000)
+        assert keep.mean() == pytest.approx(0.7, abs=0.02)
+        assert net.messages_dropped == 20_000 - keep.sum()
+
+    def test_negative_count_raises(self, rng):
+        with pytest.raises(ValueError):
+            NetworkModel().draw_loss(rng, -1)
+
+    def test_empty_draw(self, rng):
+        net = NetworkModel(loss_probability=0.5)
+        keep = net.draw_loss(rng, 0)
+        assert keep.shape == (0,)
+        assert net.messages_sent == 0
+
+
+class TestDrawLossBatch:
+    def test_zero_loss_short_circuits(self, rng):
+        net = NetworkModel(loss_probability=0.0)
+        replicas = np.array([0, 0, 1, 2, 2, 2])
+        state_before = rng.bit_generator.state
+        keep, dropped = net.draw_loss_batch(rng, replicas, 3)
+        assert keep.all()
+        np.testing.assert_array_equal(dropped, np.zeros(3, dtype=np.int64))
+        assert rng.bit_generator.state == state_before
+        assert net.messages_sent == 6
+
+    def test_drops_book_back_to_their_replicas(self, rng):
+        net = NetworkModel(loss_probability=1.0)
+        replicas = np.array([0, 0, 1, 2, 2, 2])
+        keep, dropped = net.draw_loss_batch(rng, replicas, 4)
+        assert not keep.any()
+        np.testing.assert_array_equal(dropped, np.array([2, 1, 3, 0]))
+        assert net.messages_dropped == 6
+
+    def test_partial_loss_consistency(self, rng):
+        net = NetworkModel(loss_probability=0.4)
+        replicas = np.repeat(np.arange(5), 2000)
+        keep, dropped = net.draw_loss_batch(rng, replicas, 5)
+        assert dropped.sum() == (~keep).sum() == net.messages_dropped
+        assert dropped.sum() / replicas.size == pytest.approx(0.4, abs=0.02)
+
+    def test_empty_batch(self, rng):
+        net = NetworkModel(loss_probability=0.5)
+        keep, dropped = net.draw_loss_batch(rng, np.empty(0, dtype=np.int64), 3)
+        assert keep.shape == (0,)
+        np.testing.assert_array_equal(dropped, np.zeros(3, dtype=np.int64))

@@ -1,0 +1,178 @@
+"""Unit tests for the CI benchmark-regression gate (benchmarks/check_regression.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_MODULE_PATH = Path(__file__).resolve().parents[1] / "benchmarks" / "check_regression.py"
+_SPEC = importlib.util.spec_from_file_location("check_regression", _MODULE_PATH)
+check_regression = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_regression)
+
+
+def flat_record(speedup: float) -> dict:
+    return {"benchmark": "engine_head_to_head", "n": 500, "speedup": speedup}
+
+
+def nested_record(**speedups: float) -> dict:
+    return {
+        "benchmark": "protocol_head_to_head",
+        "protocols": {name: {"speedup": value} for name, value in speedups.items()},
+    }
+
+
+class TestCollectSpeedups:
+    def test_flat_record(self):
+        assert check_regression.collect_speedups(flat_record(12.5)) == {"speedup": 12.5}
+
+    def test_nested_record(self):
+        speedups = check_regression.collect_speedups(nested_record(rdg=80.0, pbcast=40.0))
+        assert speedups == {
+            "protocols.rdg.speedup": 80.0,
+            "protocols.pbcast.speedup": 40.0,
+        }
+
+    def test_non_numeric_speedup_ignored(self):
+        assert check_regression.collect_speedups({"speedup": "fast"}) == {}
+
+
+class TestCompareRecords:
+    def test_synthetic_two_x_slowdown_fails(self):
+        # The acceptance fixture: a ratio that halved must trip a 25% gate.
+        problems = check_regression.compare_records(
+            flat_record(10.0), flat_record(5.0), threshold=0.25
+        )
+        assert len(problems) == 1
+        assert "regressed" in problems[0]
+
+    def test_small_wobble_passes(self):
+        assert (
+            check_regression.compare_records(
+                flat_record(10.0), flat_record(8.0), threshold=0.25
+            )
+            == []
+        )
+
+    def test_improvement_passes(self):
+        assert (
+            check_regression.compare_records(
+                flat_record(10.0), flat_record(20.0), threshold=0.25
+            )
+            == []
+        )
+
+    def test_nested_regression_names_the_protocol(self):
+        problems = check_regression.compare_records(
+            nested_record(rdg=80.0, pbcast=40.0),
+            nested_record(rdg=30.0, pbcast=41.0),
+            threshold=0.25,
+        )
+        assert len(problems) == 1
+        assert "protocols.rdg.speedup" in problems[0]
+
+    def test_missing_ratio_fails(self):
+        problems = check_regression.compare_records(
+            nested_record(rdg=80.0), nested_record(), threshold=0.25
+        )
+        assert len(problems) == 1
+        assert "missing" in problems[0]
+
+
+class TestMain:
+    def write(self, directory: Path, name: str, record: dict) -> None:
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / name).write_text(json.dumps(record))
+
+    def test_exits_nonzero_on_two_x_slowdown(self, tmp_path, capsys):
+        self.write(tmp_path / "baselines", "BENCH_engine.json", flat_record(10.0))
+        self.write(tmp_path / "current", "BENCH_engine.json", flat_record(5.0))
+        code = check_regression.main(
+            [
+                "--baseline-dir", str(tmp_path / "baselines"),
+                "--current-dir", str(tmp_path / "current"),
+                "--records", "BENCH_engine.json",
+            ]
+        )
+        assert code == 1
+        assert "BENCHMARK REGRESSIONS" in capsys.readouterr().out
+
+    def test_exits_zero_within_threshold(self, tmp_path, capsys):
+        self.write(tmp_path / "baselines", "BENCH_engine.json", flat_record(10.0))
+        self.write(tmp_path / "current", "BENCH_engine.json", flat_record(9.0))
+        code = check_regression.main(
+            [
+                "--baseline-dir", str(tmp_path / "baselines"),
+                "--current-dir", str(tmp_path / "current"),
+                "--records", "BENCH_engine.json",
+            ]
+        )
+        assert code == 0
+        assert "within threshold" in capsys.readouterr().out
+
+    def test_missing_current_record_fails(self, tmp_path, capsys):
+        self.write(tmp_path / "baselines", "BENCH_engine.json", flat_record(10.0))
+        (tmp_path / "current").mkdir()
+        code = check_regression.main(
+            [
+                "--baseline-dir", str(tmp_path / "baselines"),
+                "--current-dir", str(tmp_path / "current"),
+                "--records", "BENCH_engine.json",
+            ]
+        )
+        assert code == 1
+
+    def test_no_baselines_at_all_fails(self, tmp_path):
+        (tmp_path / "baselines").mkdir()
+        (tmp_path / "current").mkdir()
+        code = check_regression.main(
+            [
+                "--baseline-dir", str(tmp_path / "baselines"),
+                "--current-dir", str(tmp_path / "current"),
+            ]
+        )
+        assert code == 1
+
+    def test_threshold_validation(self, tmp_path):
+        with pytest.raises(SystemExit):
+            check_regression.main(["--threshold", "1.5"])
+
+    def test_custom_threshold_loosens_gate(self, tmp_path):
+        self.write(tmp_path / "baselines", "BENCH_engine.json", flat_record(10.0))
+        self.write(tmp_path / "current", "BENCH_engine.json", flat_record(5.5))
+        argv = [
+            "--baseline-dir", str(tmp_path / "baselines"),
+            "--current-dir", str(tmp_path / "current"),
+            "--records", "BENCH_engine.json",
+        ]
+        assert check_regression.main(argv) == 1
+        assert check_regression.main(argv + ["--threshold", "0.5"]) == 0
+
+
+class TestCommittedBaselines:
+    """The baselines shipped in the repository are structurally sound."""
+
+    BASELINE_DIR = Path(__file__).resolve().parents[1] / "benchmarks" / "baselines"
+
+    def test_every_default_record_has_a_baseline(self):
+        for name in check_regression.DEFAULT_RECORDS:
+            assert (self.BASELINE_DIR / name).exists(), f"missing baseline {name}"
+
+    def test_baselines_contain_speedups(self):
+        for name in check_regression.DEFAULT_RECORDS:
+            with open(self.BASELINE_DIR / name) as fh:
+                record = json.load(fh)
+            speedups = check_regression.collect_speedups(record)
+            assert speedups, f"{name}: no speedup ratios"
+            assert all(v > 1.0 for v in speedups.values()), (
+                f"{name}: a committed baseline ratio is not a speedup at all"
+            )
+
+    def test_baselines_pass_against_themselves(self):
+        problems = check_regression.check_directories(
+            self.BASELINE_DIR, self.BASELINE_DIR, threshold=0.25
+        )
+        assert problems == []

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import os
 
-import pytest
 
 from repro.utils.parallel import default_processes, parallel_map
 
