@@ -1,0 +1,112 @@
+"""Benchmark of the auto-dimensioning solver against a naive dense-grid sweep.
+
+``test_dimensioning_solver_vs_grid`` poses the same inverse problem — the
+minimal Poisson mean fanout whose Wilson lower confidence bound clears a
+0.99 reliability target at q = 0.9 — to the adaptive solver
+(:func:`repro.analysis.dimensioning.dimension_fanout`: analytic bracket
+seeding + confidence-aware bisection with doubling replica blocks) and to
+the naive reference (:func:`repro.analysis.dimensioning.dense_grid_dimension`:
+a fixed fanout grid at the full per-point replica budget), once loss-free
+and once under a 10% loss budget.
+
+The headline ratio is **replicas consumed** (grid / solver), not wall-clock:
+replica counts are fully determined by the fixed seeds, so the ratio is
+machine-independent and safe for the CI regression gate to pin — the
+wall-clock seconds are recorded for information only.  The record lands in
+``BENCH_dimensioning.json`` (path overridable via
+``REPRO_BENCH_RECORD_DIMENSIONING``) next to the other ``BENCH_*.json``
+perf records.
+
+At any scale the solver must be >= 5x cheaper in replicas than the dense
+grid on every cell (the repository's dimensioning promise), and every
+solver answer must carry its confidence certificate (``ci_low >= target``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from _bench_utils import bench_scale, print_banner, scaled
+
+from repro.analysis.dimensioning import dense_grid_dimension, dimension_fanout
+
+
+def test_dimensioning_solver_vs_grid():
+    """Adaptive solver vs dense grid on the 0.99-target inverse (n=2000, q=0.9)."""
+    scale = bench_scale()
+    n = scaled(2000, 400, scale)
+    q = 0.9
+    target = 0.99
+    losses = (0.0, 0.1)
+    seed = 123
+
+    print_banner(
+        f"Auto-dimensioning solver vs dense grid — n={n}, q={q}, target={target}"
+    )
+    print(
+        f"{'loss':>5s} {'solver f':>9s} {'grid f':>8s} {'solver reps':>12s} "
+        f"{'grid reps':>10s} {'speedup':>8s}"
+    )
+
+    cells = {}
+    for loss in losses:
+        start = time.perf_counter()
+        solved = dimension_fanout(
+            n, q, target, loss=loss, seed=seed, conditional_on_spread=True
+        )
+        solver_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        grid = dense_grid_dimension(
+            n, q, target, loss=loss, seed=seed, conditional_on_spread=True
+        )
+        grid_seconds = time.perf_counter() - start
+
+        assert solved.feasible and solved.certified
+        assert solved.ci_low >= target, (
+            f"loss={loss}: solver answer lacks its certificate "
+            f"(ci_low {solved.ci_low:.4f} < target {target})"
+        )
+        speedup = grid.replicas_used / solved.replicas_used
+        cells[f"loss_{loss}"] = {
+            "solver_fanout": solved.fanout,
+            "grid_fanout": grid.fanout,
+            "solver_replicas": solved.replicas_used,
+            "grid_replicas": grid.replicas_used,
+            "solver_evaluations": solved.evaluations,
+            "grid_evaluations": grid.evaluations,
+            "solver_seconds": solver_seconds,
+            "grid_seconds": grid_seconds,
+            "speedup": speedup,
+        }
+        print(
+            f"{loss:5.2f} {solved.fanout:9.3f} {grid.fanout:8.3f} "
+            f"{solved.replicas_used:12d} {grid.replicas_used:10d} {speedup:7.1f}x"
+        )
+
+    total_speedup = sum(c["grid_replicas"] for c in cells.values()) / sum(
+        c["solver_replicas"] for c in cells.values()
+    )
+    record = {
+        "benchmark": "dimensioning_solver_vs_grid",
+        "n": n,
+        "q": q,
+        "target_reliability": target,
+        "scale": scale,
+        "cells": cells,
+        "speedup": total_speedup,
+    }
+    record_path = os.environ.get("REPRO_BENCH_RECORD_DIMENSIONING", "BENCH_dimensioning.json")
+    with open(record_path, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"total replica speedup: {total_speedup:.1f}x")
+    print(f"perf record written to {record_path}")
+
+    for name, cell in cells.items():
+        assert cell["speedup"] >= 5.0, (
+            f"{name}: solver only {cell['speedup']:.1f}x cheaper than the dense "
+            f"grid in replicas (floor 5x)"
+        )

@@ -1,10 +1,11 @@
 """Benchmark-regression gate for the CI smoke benchmarks.
 
 The smoke benchmarks (``bench_microbenchmarks.py``, ``bench_graph_ensemble.py``,
-``bench_protocol_batch.py``, ``bench_loss_resilience.py``) each emit a
-``BENCH_*.json`` perf record whose head-to-head **speedup ratios**
-(batched engine time / scalar reference time, inverted) are the numbers the
-repository actually promises.  This script compares the freshly produced
+``bench_protocol_batch.py``, ``bench_loss_resilience.py``,
+``bench_dimensioning.py``) each emit a ``BENCH_*.json`` perf record whose
+head-to-head **speedup ratios** (batched engine time / scalar reference
+time, inverted — or, for the dimensioning solver, dense-grid replicas /
+solver replicas) are the numbers the repository actually promises.  This script compares the freshly produced
 records against the baselines committed under ``benchmarks/baselines/`` and
 exits non-zero when any ratio regressed by more than the threshold
 (default: 25%), so a perf regression can no longer merge green.
@@ -39,6 +40,7 @@ DEFAULT_RECORDS = (
     "BENCH_graphs.json",
     "BENCH_protocols.json",
     "BENCH_loss.json",
+    "BENCH_dimensioning.json",
 )
 
 __all__ = ["collect_speedups", "compare_records", "check_directories", "main"]

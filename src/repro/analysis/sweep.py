@@ -33,23 +33,41 @@ def default_distribution_families(mean_fanout: float) -> dict[str, FanoutDistrib
     """Return the standard set of distribution families at a common mean fanout.
 
     The fixed and uniform families require integer parameters, so the mean is
-    rounded for them; their realised mean is reported in the sweep rows.
+    rounded for them.  The uniform support is clipped *symmetrically* around
+    the rounded mean (half-width ``min(2, rounded)``) so its realised mean is
+    exactly the rounded target: the former one-sided clip
+    ``U(max(0, rounded - 2), rounded + 2)`` silently inflated the mean once
+    ``rounded < 2`` (e.g. a requested mean of 1 became ``U(0, 3)`` with
+    realised mean 1.5 — a 50% bias that broke the "mean held fixed" contract
+    of the ablation).  Residual integer rounding is surfaced per row as
+    ``realised_mean`` so comparisons are made at the mean each family
+    actually runs with.
     """
     rounded = max(1, int(round(mean_fanout)))
+    half_width = min(2, rounded)
     return {
         "poisson": PoissonFanout(mean_fanout),
         "fixed": FixedFanout(rounded),
         "geometric": GeometricFanout.from_mean(mean_fanout),
-        "uniform": UniformFanout(max(0, rounded - 2), rounded + 2),
+        "uniform": UniformFanout(rounded - half_width, rounded + half_width),
     }
 
 
 @dataclass(frozen=True)
 class DistributionSweepRow:
-    """One row of the distribution ablation: a (family, q) cell."""
+    """One row of the distribution ablation: a (family, q) cell.
+
+    ``mean_fanout`` is the *requested* common mean of the ablation;
+    ``realised_mean`` is the mean the family's (integer-parameter) instance
+    actually has.  The analytical column is always evaluated at the realised
+    mean — the same distribution object the simulator draws from — so the
+    analysis-vs-simulation comparison stays apples-to-apples even when the
+    two means differ by integer rounding.
+    """
 
     family: str
     mean_fanout: float
+    realised_mean: float
     q: float
     critical_ratio: float
     analytical: float
@@ -59,6 +77,10 @@ class DistributionSweepRow:
     def absolute_error(self) -> float:
         """Return the analysis-vs-simulation gap for this cell."""
         return abs(self.analytical - self.simulated)
+
+    def mean_bias(self) -> float:
+        """Return ``realised_mean - mean_fanout`` (integer-rounding residue)."""
+        return self.realised_mean - self.mean_fanout
 
 
 @dataclass
@@ -125,7 +147,8 @@ def distribution_ablation(
             sweep.rows.append(
                 DistributionSweepRow(
                     family=name,
-                    mean_fanout=dist.mean(),
+                    mean_fanout=float(mean_fanout),
+                    realised_mean=dist.mean(),
                     q=q,
                     critical_ratio=qc,
                     analytical=analytical_reliability(dist, q),

@@ -15,7 +15,13 @@ from repro.simulation.metrics import SuccessCountResult
 from repro.simulation.runner import SweepResult
 from repro.utils.tables import format_table
 
-__all__ = ["sweep_to_table", "comparison_to_table", "pmf_to_table", "distribution_sweep_to_table"]
+__all__ = [
+    "sweep_to_table",
+    "comparison_to_table",
+    "pmf_to_table",
+    "distribution_sweep_to_table",
+    "dimensioning_to_table",
+]
 
 
 def sweep_to_table(sweep: SweepResult, *, precision: int = 4) -> str:
@@ -54,12 +60,26 @@ def pmf_to_table(result: SuccessCountResult, *, precision: int = 4) -> str:
 
 
 def distribution_sweep_to_table(sweep: DistributionSweep, *, precision: int = 4) -> str:
-    """Render the distribution ablation as one row per (family, q) cell."""
-    headers = ["family", "mean_fanout", "q", "q_c", "analytical", "simulated", "abs_error"]
+    """Render the distribution ablation as one row per (family, q) cell.
+
+    Both the requested common mean and each family's realised mean are
+    shown; the analytical column is evaluated at the realised mean.
+    """
+    headers = [
+        "family",
+        "mean_fanout",
+        "realised_mean",
+        "q",
+        "q_c",
+        "analytical",
+        "simulated",
+        "abs_error",
+    ]
     rows = [
         (
             r.family,
             r.mean_fanout,
+            r.realised_mean,
             r.q,
             r.critical_ratio,
             r.analytical,
@@ -68,4 +88,52 @@ def distribution_sweep_to_table(sweep: DistributionSweep, *, precision: int = 4)
         )
         for r in sweep.rows
     ]
+    return format_table(headers, rows, precision=precision)
+
+
+def dimensioning_to_table(points, *, precision: int = 4) -> str:
+    """Render auto-dimensioning cells as one row per solved cell.
+
+    ``points`` is any iterable of objects with the
+    :class:`~repro.experiments.dimensioning.DimensioningPoint` /
+    :class:`~repro.analysis.dimensioning.DimensioningResult` field surface
+    (``fanout``, ``rounds``, ``analytical_fanout``, the achieved interval,
+    and the solver cost counters); the optional ``protocol`` field column is
+    included when present so both the per-protocol experiment grid and bare
+    distribution-mode solver results render through the same code.
+    """
+    points = list(points)
+    with_protocol = any(getattr(p, "protocol", None) is not None for p in points)
+    headers = (["protocol"] if with_protocol else []) + [
+        "target",
+        "q",
+        "loss",
+        "fanout",
+        "rounds",
+        "analytic_f",
+        "achieved",
+        "ci_low",
+        "ci_high",
+        "replicas",
+        "feasible",
+    ]
+    rows = []
+    for p in points:
+        target = getattr(p, "target_reliability", None)
+        rows.append(
+            ([getattr(p, "protocol", "-")] if with_protocol else [])
+            + [
+                target,
+                p.q,
+                p.loss,
+                p.fanout,
+                "-" if p.rounds is None else p.rounds,
+                p.analytical_fanout,
+                p.achieved_reliability,
+                p.ci_low,
+                p.ci_high,
+                p.replicas_used,
+                p.feasible,
+            ]
+        )
     return format_table(headers, rows, precision=precision)

@@ -22,13 +22,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.core.distributions import (
-    FanoutDistribution,
-    FixedFanout,
-    GeometricFanout,
-    PoissonFanout,
-    UniformFanout,
-)
+from repro.core.distributions import FanoutDistribution, PoissonFanout
 from repro.core.model import GossipModel
 from repro.core.poisson_case import mean_fanout_for_reliability
 from repro.core.success import min_executions
@@ -56,18 +50,18 @@ def _parse_scale(raw: str) -> float:
 
 
 def _make_distribution(name: str, mean_fanout: float) -> FanoutDistribution:
-    """Build a fanout distribution of the requested family at the given mean."""
-    name = name.lower()
-    if name == "poisson":
-        return PoissonFanout(mean_fanout)
-    if name == "fixed":
-        return FixedFanout(max(0, int(round(mean_fanout))))
-    if name == "geometric":
-        return GeometricFanout.from_mean(mean_fanout)
-    if name == "uniform":
-        centre = max(1, int(round(mean_fanout)))
-        return UniformFanout(max(0, centre - 2), centre + 2)
-    raise ValueError(f"unknown fanout family {name!r}")
+    """Build a fanout distribution of the requested family at the given mean.
+
+    Delegates to :func:`repro.analysis.sweep.default_distribution_families`
+    so the CLI and the distribution ablation construct exactly the same
+    instances (one clip rule, one rounding rule) at a requested mean.
+    """
+    from repro.analysis.sweep import default_distribution_families
+
+    try:
+        return default_distribution_families(mean_fanout)[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown fanout family {name!r}") from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -123,7 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[spec.experiment_id for spec in list_experiments()],
         help=(
             "experiment id (fig2 .. fig7, sec4_percolation_validation, "
-            "protocol_comparison, loss_resilience)"
+            "protocol_comparison, loss_resilience, dimensioning)"
         ),
     )
     experiment.add_argument(
@@ -141,7 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[spec.experiment_id for spec in list_experiments()],
         help=(
             "experiment id (fig2 .. fig7, sec4_percolation_validation, "
-            "protocol_comparison, loss_resilience)"
+            "protocol_comparison, loss_resilience, dimensioning)"
         ),
     )
     run.add_argument(

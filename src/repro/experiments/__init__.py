@@ -12,6 +12,12 @@ their experiment id (``"fig2"`` … ``"fig7"``, plus the graph-side
 ``"sec4_percolation_validation"``).
 """
 
+from repro.experiments.dimensioning import (
+    DimensioningConfig,
+    DimensioningExperimentResult,
+    DimensioningPoint,
+    run_dimensioning,
+)
 from repro.experiments.fig2_mean_fanout import Fig2Config, Fig2Result, run_fig2
 from repro.experiments.fig3_min_executions import Fig3Config, Fig3Result, run_fig3
 from repro.experiments.fig4_reliability_1000 import Fig4Config, Fig4Result, run_fig4
@@ -53,6 +59,10 @@ __all__ = [
     "LossResilienceConfig",
     "LossResilienceResult",
     "run_loss_resilience",
+    "DimensioningConfig",
+    "DimensioningExperimentResult",
+    "DimensioningPoint",
+    "run_dimensioning",
     "get_experiment",
     "list_experiments",
 ]

@@ -10,6 +10,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.experiments import (
+    dimensioning,
     fig2_mean_fanout,
     fig3_min_executions,
     fig4_reliability_1000,
@@ -111,6 +112,13 @@ _REGISTRY: dict[str, ExperimentSpec] = {
         paper_reference=loss_resilience.PAPER_REFERENCE,
         config_factory=loss_resilience.LossResilienceConfig,
         runner=loss_resilience.run_loss_resilience,
+        analytical_only=False,
+    ),
+    "dimensioning": ExperimentSpec(
+        experiment_id="dimensioning",
+        paper_reference=dimensioning.PAPER_REFERENCE,
+        config_factory=dimensioning.DimensioningConfig,
+        runner=dimensioning.run_dimensioning,
         analytical_only=False,
     ),
 }

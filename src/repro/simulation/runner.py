@@ -111,11 +111,15 @@ def estimate_reliability(
     repetitions:
         Number of independent executions (paper: 20 per parameter pair).
     processes:
-        Worker processes.  The default of 1 keeps execution serial and
-        deterministic; values > 1 (or ``None`` for auto) split the
-        repetitions into chunked replica batches, one batch per worker task —
-        only allowed with the default full membership view because partial
-        views are not shipped to workers.
+        Worker processes.  The default of 1 runs in the calling process;
+        values > 1 (or ``None`` for auto) fan the work out over a pool.
+        With the default full membership view the repetitions are *always*
+        split into the same chunked replica batches (a function of
+        ``repetitions`` alone) and seeded by spawning one child seed per
+        chunk, so at a fixed seed every ``processes`` setting — ``1``,
+        ``None``, or any worker count — produces bit-identical numbers.
+        Partial membership views are not shipped to workers and therefore
+        force serial execution.
     conditional_on_spread:
         When True, average only over executions whose dissemination took off
         (delivered more than ``max(10, sqrt(n))`` members).  Single
@@ -144,9 +148,10 @@ def estimate_reliability(
             conditional_on_spread=conditional_on_spread,
         )
 
-    serial = membership is not None or (processes is not None and processes <= 1)
-    if engine == "scalar":
-        if serial:
+    if membership is not None:
+        # Partial views are not shipped to workers: run serially.  There is
+        # no parallel twin of this path, so no seed-layout split to guard.
+        if engine == "scalar":
             rng = as_generator(seed)
             return _summarize(
                 [
@@ -156,6 +161,21 @@ def estimate_reliability(
                     for _ in range(repetitions)
                 ]
             )
+        result = simulate_gossip_batch(
+            n,
+            distribution,
+            q,
+            repetitions=repetitions,
+            source=source,
+            seed=seed,
+            membership=membership,
+        )
+        return _summarize(result.metrics())
+
+    if engine == "scalar":
+        # One spawned seed per replica regardless of `processes`; the pool
+        # only changes *where* a replica runs, never which stream it reads,
+        # so processes=None / 1 / k are bit-identical at a fixed seed.
         seeds = spawn_seeds(repetitions, seed)
         work = [(n, distribution, q, source, s) for s in seeds]
         rows = parallel_map(_run_one_replica, work, processes=processes)
@@ -176,23 +196,11 @@ def estimate_reliability(
             ]
         )
 
-    if serial:
-        result = simulate_gossip_batch(
-            n,
-            distribution,
-            q,
-            repetitions=repetitions,
-            source=source,
-            seed=seed,
-            membership=membership,
-        )
-        return _summarize(result.metrics())
-
-    # Chunked replica batches: one worker task per chunk, not per replica.
-    # Chunk count depends only on `repetitions`, so at a fixed seed every
-    # parallel run (any processes > 1, any host core count) reproduces the
-    # same numbers; the serial path above seeds one whole-batch stream and
-    # therefore differs from the chunked layout.
+    # Chunked replica batches: one task per chunk, not per replica.  Chunk
+    # count and per-chunk seeds depend only on `repetitions` and `seed` —
+    # never on `processes` or the host core count — so the serial spelling
+    # (processes=1), the auto spelling (processes=None), and any explicit
+    # pool size reproduce exactly the same numbers at a fixed seed.
     n_chunks = max(1, -(-repetitions // _CHUNK_REPETITIONS))
     chunk_sizes = [len(c) for c in np.array_split(np.arange(repetitions), n_chunks)]
     seeds = spawn_seeds(n_chunks, seed)
@@ -301,12 +309,16 @@ def reliability_sweep(
     for q in qs:
         for fanout in fanouts:
             dist = distribution_factory(fanout)
+            # One spawned child seed per grid cell, whatever the `processes`
+            # spelling: serial (1), auto (None), and explicit pool sizes all
+            # hand the same integer to the same chunk layout downstream, so
+            # a fixed-seed sweep is bit-identical across all of them.
             estimate = estimate_reliability(
                 n,
                 dist,
                 q,
                 repetitions=repetitions,
-                seed=rng if processes is not None and processes <= 1 else spawn_seeds(1, rng)[0],
+                seed=spawn_seeds(1, rng)[0],
                 processes=processes,
                 conditional_on_spread=conditional_on_spread,
                 engine=engine,

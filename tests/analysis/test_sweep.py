@@ -22,6 +22,24 @@ class TestDefaultFamilies:
         for dist in families.values():
             assert dist.mean() == pytest.approx(4.0, abs=0.6)
 
+    def test_uniform_mean_unbiased_at_small_means(self):
+        # Regression: U(max(0, rounded-2), rounded+2) was asymmetric below
+        # rounded=2 — a requested mean of 1 became U(0, 3), realised mean
+        # 1.5.  The symmetric clip keeps the realised mean exactly at the
+        # rounded target for every mean.
+        for target in (1.0, 2.0, 3.0, 4.0, 7.0):
+            families = default_distribution_families(target)
+            assert families["uniform"].mean() == pytest.approx(round(target)), target
+            assert families["fixed"].mean() == pytest.approx(round(target)), target
+
+    def test_realised_mean_surfaced_in_rows(self):
+        sweep = distribution_ablation(200, 1.0, qs=[0.9], repetitions=2, seed=5)
+        for row in sweep.rows:
+            assert row.mean_fanout == pytest.approx(1.0)  # the requested mean
+            assert row.mean_bias() == pytest.approx(row.realised_mean - row.mean_fanout)
+            if row.family == "uniform":
+                assert row.realised_mean == pytest.approx(1.0)
+
 
 class TestDistributionAblation:
     def test_rows_cover_grid(self):

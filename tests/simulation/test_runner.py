@@ -78,6 +78,47 @@ class TestEstimateReliability:
             estimate_reliability(100, PoissonFanout(3.0), 0.5, repetitions=0)
 
 
+class TestSeedPathDeterminism:
+    """Regression: the two serial spellings of the same run must agree.
+
+    ``reliability_sweep`` used to seed ``estimate_reliability`` with the live
+    generator when ``processes=1`` but with a spawned child seed when
+    ``processes=None`` — so the same sweep at the same seed produced
+    different numbers depending on which way "serial" was spelled.  The seed
+    path is now unified (always spawn; chunk layout a function of
+    ``repetitions`` alone), making every ``processes`` spelling
+    bit-identical.
+    """
+
+    def test_estimate_processes_none_equals_one(self):
+        kwargs = dict(repetitions=20, seed=31)
+        one = estimate_reliability(300, PoissonFanout(4.0), 0.9, processes=1, **kwargs)
+        auto = estimate_reliability(300, PoissonFanout(4.0), 0.9, processes=None, **kwargs)
+        np.testing.assert_array_equal(one.samples, auto.samples)
+        assert one.mean_rounds == auto.mean_rounds
+        assert one.mean_messages == auto.mean_messages
+
+    def test_estimate_explicit_pool_matches_serial(self):
+        kwargs = dict(repetitions=20, seed=32)
+        one = estimate_reliability(300, PoissonFanout(4.0), 0.9, processes=1, **kwargs)
+        pooled = estimate_reliability(300, PoissonFanout(4.0), 0.9, processes=3, **kwargs)
+        np.testing.assert_array_equal(one.samples, pooled.samples)
+
+    def test_scalar_engine_processes_none_equals_one(self):
+        kwargs = dict(repetitions=6, seed=33, engine="scalar")
+        one = estimate_reliability(200, PoissonFanout(3.0), 0.8, processes=1, **kwargs)
+        auto = estimate_reliability(200, PoissonFanout(3.0), 0.8, processes=None, **kwargs)
+        np.testing.assert_array_equal(one.samples, auto.samples)
+
+    def test_sweep_processes_none_equals_one(self):
+        kwargs = dict(fanouts=[3.0, 5.0], qs=[0.8, 1.0], repetitions=10, seed=34)
+        one = reliability_sweep(250, processes=1, **kwargs)
+        auto = reliability_sweep(250, processes=None, **kwargs)
+        assert [(p.simulated, p.simulated_std, p.mean_fanout, p.q) for p in one.points] == [
+            (p.simulated, p.simulated_std, p.mean_fanout, p.q) for p in auto.points
+        ]
+
+
 class TestReliabilitySweep:
     def test_grid_coverage(self):
         sweep = reliability_sweep(
