@@ -12,6 +12,12 @@ their experiment id (``"fig2"`` … ``"fig7"``, plus the graph-side
 ``"sec4_percolation_validation"``).
 """
 
+from repro.experiments.churn_resilience import (
+    ChurnPoint,
+    ChurnResilienceConfig,
+    ChurnResilienceResult,
+    run_churn_resilience,
+)
 from repro.experiments.dimensioning import (
     DimensioningConfig,
     DimensioningExperimentResult,
@@ -63,6 +69,10 @@ __all__ = [
     "DimensioningExperimentResult",
     "DimensioningPoint",
     "run_dimensioning",
+    "ChurnPoint",
+    "ChurnResilienceConfig",
+    "ChurnResilienceResult",
+    "run_churn_resilience",
     "get_experiment",
     "list_experiments",
 ]

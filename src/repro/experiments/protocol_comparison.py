@@ -58,18 +58,23 @@ PAPER_REFERENCE = (
 _CHUNK_REPETITIONS = 8
 
 
-def protocol_zoo(mean_fanout: int, rounds: int) -> tuple:
-    """Return the six ``(protocol_id, Protocol)`` rows at equal per-member effort.
+def protocol_zoo(mean_fanout: int, rounds: int, *, include_peer_sampling: bool = False) -> tuple:
+    """Return the ``(protocol_id, Protocol)`` rows at equal per-member effort.
 
     The single place the protocol-level experiments (``protocol_comparison``,
-    ``loss_resilience``) and benchmarks instantiate the zoo, so every workload
-    compares exactly the same dimensioning: ``mean_fanout`` is the push fanout
-    of every gossip protocol and the overlay degree of flooding; ``rounds``
-    bounds the periodic protocols (pbcast, lpbcast, RDG).
+    ``loss_resilience``, ``churn_resilience``) and benchmarks instantiate the
+    zoo, so every workload compares exactly the same dimensioning:
+    ``mean_fanout`` is the push fanout of every gossip protocol and the
+    overlay degree of flooding; ``rounds`` bounds the periodic protocols
+    (pbcast, lpbcast, RDG).  ``include_peer_sampling`` appends the
+    HyParView-style peer-sampling protocol (a small self-repairing active
+    view backed by a passive reservoir) — off by default so the static
+    experiments keep their historical six-row grid.
     """
     from repro.protocols import (
         FixedFanoutGossip,
         FloodingProtocol,
+        HyParViewProtocol,
         LpbcastProtocol,
         PbcastProtocol,
         RandomFanoutGossip,
@@ -77,7 +82,7 @@ def protocol_zoo(mean_fanout: int, rounds: int) -> tuple:
     )
 
     f = int(mean_fanout)
-    return (
+    rows = (
         ("flooding", FloodingProtocol(degree=f)),
         ("pbcast", PbcastProtocol(fanout=f, rounds=rounds, broadcast_reach=0.8)),
         ("lpbcast", LpbcastProtocol(fanout=f, rounds=rounds, view_size=30)),
@@ -85,6 +90,20 @@ def protocol_zoo(mean_fanout: int, rounds: int) -> tuple:
         ("fixed-fanout", FixedFanoutGossip(f)),
         ("random-fanout", RandomFanoutGossip(PoissonFanout(float(f)))),
     )
+    if include_peer_sampling:
+        rows += (
+            (
+                "hyparview",
+                HyParViewProtocol(
+                    fanout=f,
+                    rounds=rounds,
+                    active_size=8,
+                    passive_size=30,
+                    shuffle_interval=1,
+                ),
+            ),
+        )
+    return rows
 
 
 @dataclass(frozen=True)

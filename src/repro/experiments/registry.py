@@ -10,6 +10,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.experiments import (
+    churn_resilience,
     dimensioning,
     fig2_mean_fanout,
     fig3_min_executions,
@@ -119,6 +120,13 @@ _REGISTRY: dict[str, ExperimentSpec] = {
         paper_reference=dimensioning.PAPER_REFERENCE,
         config_factory=dimensioning.DimensioningConfig,
         runner=dimensioning.run_dimensioning,
+        analytical_only=False,
+    ),
+    "churn_resilience": ExperimentSpec(
+        experiment_id="churn_resilience",
+        paper_reference=churn_resilience.PAPER_REFERENCE,
+        config_factory=churn_resilience.ChurnResilienceConfig,
+        runner=churn_resilience.run_churn_resilience,
         analytical_only=False,
     ),
 }

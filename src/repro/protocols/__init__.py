@@ -20,6 +20,9 @@ those protocols on top of the same simulation substrate:
 * :class:`~repro.protocols.flooding.FloodingProtocol` — deterministic
   flooding over a random overlay, an upper-bound (and message-cost extreme)
   baseline.
+* :class:`~repro.protocols.hyparview.HyParViewProtocol` — HyParView-style
+  peer sampling: push gossip over a bounded active view that self-repairs
+  from a passive view under churn, with a periodic shuffle.
 
 All protocols implement the :class:`~repro.protocols.base.Protocol` interface
 and return :class:`~repro.protocols.base.ProtocolResult`.
@@ -32,6 +35,7 @@ from repro.protocols.pbcast import PbcastProtocol
 from repro.protocols.lpbcast import LpbcastProtocol
 from repro.protocols.rdg import RouteDrivenGossip
 from repro.protocols.flooding import FloodingProtocol
+from repro.protocols.hyparview import HyParViewProtocol
 
 __all__ = [
     "Protocol",
@@ -42,4 +46,5 @@ __all__ = [
     "LpbcastProtocol",
     "RouteDrivenGossip",
     "FloodingProtocol",
+    "HyParViewProtocol",
 ]

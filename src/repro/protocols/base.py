@@ -162,12 +162,16 @@ class Protocol(ABC):
         seed=None,
         failure_model: FailureModel | None = None,
         network: NetworkModel | None = None,
+        churn=None,
     ):
         """Run ``repetitions`` independent executions as one ``(R, n)`` array program.
 
         Convenience wrapper around
         :func:`repro.simulation.protocol_batch.simulate_protocol_batch`;
         returns a :class:`~repro.simulation.protocol_batch.BatchProtocolResult`.
+        ``churn`` optionally supplies the dynamic-membership plane (a
+        :class:`~repro.simulation.churn.ChurnModel` or a pre-drawn
+        :class:`~repro.simulation.churn.ChurnScheduleBatch`).
         """
         from repro.simulation.protocol_batch import simulate_protocol_batch
 
@@ -180,6 +184,7 @@ class Protocol(ABC):
             seed=seed,
             failure_model=failure_model,
             network=network,
+            churn=churn,
         )
 
     @abstractmethod
@@ -206,16 +211,25 @@ class Protocol(ABC):
         source: int,
         rng: np.random.Generator,
         network: NetworkModel | None = None,
+        churn=None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Batched dissemination hook: ``(R, n)`` alive masks in, per-replica results out.
 
         Returns ``(delivered (R, n), messages_sent (R,), messages_dropped
         (R,), rounds (R,))`` — the engine also accepts the legacy 3-tuple
-        without the drop counts from external subclasses.  The base
+        without the drop counts from external subclasses.  ``churn`` (a
+        :class:`~repro.simulation.churn.ChurnScheduleBatch`) is threaded
+        through only for churn-aware runs, mirroring the ``network``
+        contract, so legacy signatures keep working.  The base
         implementation replays the scalar :meth:`_disseminate` once per
-        replica — correct for any protocol; every bundled protocol overrides
-        it with a vectorised array program.
+        replica — correct for any static-membership protocol; every bundled
+        protocol overrides it with a vectorised, churn-capable array program.
         """
+        if churn is not None:
+            raise NotImplementedError(
+                f"protocol {self.name!r} has no batched churn-aware hook; the "
+                "scalar-replay fallback cannot apply per-round join/leave events"
+            )
         repetitions = int(alive.shape[0])
         delivered = np.zeros((repetitions, n), dtype=bool)
         messages = np.zeros(repetitions, dtype=np.int64)

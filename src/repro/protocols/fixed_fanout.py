@@ -57,11 +57,12 @@ class FixedFanoutGossip(Protocol):
             frontier = newly_alive
         return delivered, messages, rounds
 
-    def _disseminate_batch(self, n, alive, source, rng, network=None):
+    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None):
         # The constant-fanout push process IS the paper's algorithm with a
         # degenerate distribution, so the batched gossip engine does all the
-        # work; failures arrive through the pre-drawn alive masks and message
-        # loss through the shared network hook.
+        # work; failures arrive through the pre-drawn alive masks, message
+        # loss through the shared network hook, and join/leave events through
+        # the churn plane.
         result = simulate_gossip_batch(
             n,
             FixedFanout(self.fanout),
@@ -71,5 +72,6 @@ class FixedFanoutGossip(Protocol):
             seed=rng,
             alive=alive,
             network=network,
+            churn=churn,
         )
         return result.delivered, result.messages_sent, result.messages_dropped, result.rounds

@@ -73,7 +73,7 @@ class FloodingProtocol(Protocol):
             frontier = next_frontier
         return delivered, messages, rounds
 
-    def _disseminate_batch(self, n, alive, source, rng, network=None):
+    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None):
         repetitions = int(alive.shape[0])
         cells = repetitions * n
         degree = min(self.degree, n - 1)
@@ -112,7 +112,16 @@ class FloodingProtocol(Protocol):
 
         frontier = np.arange(repetitions, dtype=np.int64) * n + source
         delivered[frontier] = True
+        round_index = 0
         while frontier.size:
+            round_index += 1
+            present_flat = None
+            if churn is not None:
+                # Members that left the group stop flooding their links.
+                present_flat = churn.present_at(round_index).ravel()
+                frontier = frontier[present_flat[frontier]]
+                if not frontier.size:
+                    break
             frontier_replica = frontier // n
             rounds += np.bincount(frontier_replica, minlength=repetitions) > 0
             fanout = neighbour_counts[frontier].astype(np.int64, copy=False)
@@ -138,6 +147,10 @@ class FloodingProtocol(Protocol):
                 )
                 dropped += dropped_round
                 targets = targets[keep]
+            if present_flat is not None:
+                # Links into currently-absent peers waste the send: counted
+                # as sent above, but never booked as network drops.
+                targets = targets[present_flat[targets]]
             fresh = np.unique(targets)
             fresh = fresh[~delivered[fresh]]
             delivered[fresh] = True

@@ -68,7 +68,7 @@ class LpbcastProtocol(Protocol):
                 has_message[np.array(newly, dtype=np.int64)] = True
         return has_message, messages, rounds_executed
 
-    def _disseminate_batch(self, n, alive, source, rng, network=None):
+    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None):
         repetitions = int(alive.shape[0])
         size = min(self.view_size, n - 1)
         # Every replica gets its own fresh partial-view assignment, drawn for
@@ -94,11 +94,21 @@ class LpbcastProtocol(Protocol):
         # budget (digest traffic continues even after everyone has the
         # message), so no convergence exit — only the holders-empty guard.
         active = np.ones(repetitions, dtype=bool)
+        round_index = 0
         for _ in range(self.rounds):
             if not active.any():
                 break
+            round_index += 1
+            present_flat = None
             rounds += active
             holders = has_message & alive & active[:, None]
+            if churn is not None:
+                # Departed holders stop gossiping; the static views go stale,
+                # so sends into absent peers are wasted (filtered below) —
+                # exactly the degradation the peer-sampling protocol repairs.
+                present = churn.present_at(round_index)
+                present_flat = present.ravel()
+                holders &= present
             active &= holders.any(axis=1)
             rep_idx, mem_idx = np.nonzero(holders & active[:, None])
             if rep_idx.size == 0:
@@ -118,6 +128,8 @@ class LpbcastProtocol(Protocol):
                 keep, dropped_round = network.draw_loss_batch(rng, target_replica, repetitions)
                 dropped += dropped_round
                 cells = cells[keep]
+            if present_flat is not None:
+                cells = cells[present_flat[cells]]
             fresh = np.unique(cells[alive_flat[cells] & ~has_flat[cells]])
             has_flat[fresh] = True
         return has_message, messages, dropped, rounds

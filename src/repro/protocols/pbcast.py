@@ -85,7 +85,7 @@ class PbcastProtocol(Protocol):
             has_message[np.array(newly, dtype=np.int64)] = True
         return has_message, messages, rounds_executed
 
-    def _disseminate_batch(self, n, alive, source, rng, network=None):
+    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None):
         repetitions = int(alive.shape[0])
         has_message = np.zeros((repetitions, n), dtype=bool)
         has_message[:, source] = True
@@ -109,6 +109,10 @@ class PbcastProtocol(Protocol):
             keep_matrix = np.ones((repetitions, n), dtype=bool)
             keep_matrix[:, np.arange(n) != source] = keep.reshape(repetitions, n - 1)
             reached &= keep_matrix
+        if churn is not None:
+            # Members not yet (or no longer) in the group at broadcast time
+            # cannot buffer the message.
+            reached &= churn.present_at(0)
         has_message |= reached & alive
         has_flat = has_message.ravel()
         alive_flat = alive.ravel()
@@ -117,11 +121,20 @@ class PbcastProtocol(Protocol):
         # a replica leaves the batch once a round produces no recovery
         # (converged), exactly the scalar engine's break.
         active = np.ones(repetitions, dtype=bool)
+        round_index = 0
         for _ in range(self.rounds):
             if not active.any():
                 break
+            round_index += 1
+            present_flat = None
             rounds += active
             holders = has_message & alive & active[:, None]
+            if churn is not None:
+                # Departed holders stop gossiping digests; absent peers
+                # cannot receive them either (filtered below).
+                present = churn.present_at(round_index)
+                present_flat = present.ravel()
+                holders &= present
             active &= holders.any(axis=1)
             rep_idx, mem_idx = np.nonzero(holders & active[:, None])
             if rep_idx.size == 0:
@@ -133,6 +146,12 @@ class PbcastProtocol(Protocol):
             if network is not None:
                 keep, dropped_round = network.draw_loss_batch(rng, target_replica, repetitions)
                 dropped += dropped_round
+                cells = cells[keep]
+                target_replica = target_replica[keep]
+            if present_flat is not None:
+                # Digests to absent peers are wasted sends (counted above),
+                # not network drops.
+                keep = present_flat[cells]
                 cells = cells[keep]
                 target_replica = target_replica[keep]
             # A digest landing on a nonfailed peer that misses the message

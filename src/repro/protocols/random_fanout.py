@@ -43,7 +43,7 @@ class RandomFanoutGossip(Protocol):
         )
         return execution.delivered, execution.messages_sent, execution.rounds
 
-    def _disseminate_batch(self, n, alive, source, rng, network=None):
+    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None):
         result = simulate_gossip_batch(
             n,
             self.distribution,
@@ -53,5 +53,6 @@ class RandomFanoutGossip(Protocol):
             seed=rng,
             alive=alive,
             network=network,
+            churn=churn,
         )
         return result.delivered, result.messages_sent, result.messages_dropped, result.rounds

@@ -82,7 +82,7 @@ class RouteDrivenGossip(Protocol):
                 break
         return has_message, messages, rounds_executed
 
-    def _disseminate_batch(self, n, alive, source, rng, network=None):
+    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None):
         repetitions = int(alive.shape[0])
         has_message = np.zeros((repetitions, n), dtype=bool)
         has_message[:, source] = True
@@ -94,12 +94,21 @@ class RouteDrivenGossip(Protocol):
 
         active = np.ones(repetitions, dtype=bool)
         pull_fanout = min(self.pull_fanout, n - 1)
+        round_index = 0
         for _ in range(self.rounds):
             if not active.any():
                 break
+            round_index += 1
+            present = present_flat = None
+            if churn is not None:
+                # Absent members neither push, pull, nor answer pulls.
+                present = churn.present_at(round_index)
+                present_flat = present.ravel()
             rounds += active
             # ---------------------------------------------------------- push
             holders = has_message & alive & active[:, None]
+            if present is not None:
+                holders &= present
             active &= holders.any(axis=1)
             rep_idx, mem_idx = np.nonzero(holders & active[:, None])
             if rep_idx.size:
@@ -113,11 +122,15 @@ class RouteDrivenGossip(Protocol):
                     )
                     dropped += dropped_round
                     cells = cells[keep]
+                if present_flat is not None:
+                    cells = cells[present_flat[cells]]
                 fresh = np.unique(cells[alive_flat[cells] & ~has_flat[cells]])
                 has_flat[fresh] = True
             # ---------------------------------------------------------- pull
             if pull_fanout > 0:
                 missing = alive & ~has_message & active[:, None]
+                if present is not None:
+                    missing &= present
                 miss_rep, miss_mem = np.nonzero(missing)
                 if miss_rep.size:
                     peer_cells, peer_replica = sample_group_targets_batch(
@@ -128,6 +141,8 @@ class RouteDrivenGossip(Protocol):
                     # requests include at least one nonfailed holder; the
                     # response itself is one more lossy message.
                     hit = has_flat[peer_cells] & alive_flat[peer_cells]
+                    if present_flat is not None:
+                        hit &= present_flat[peer_cells]
                     if network is not None:
                         keep, dropped_round = network.draw_loss_batch(
                             rng, peer_replica, repetitions

@@ -23,11 +23,23 @@ with vectorised pluggable failure drawing) and to the network plane: pass a
 :class:`~repro.simulation.network.NetworkModel` to any engine and every
 round's send list is thinned with one vectorised Bernoulli loss draw
 (``NetworkModel.draw_loss_batch``), with per-replica
-``messages_sent``/``messages_dropped`` accounting.
+``messages_sent``/``messages_dropped`` accounting.  The dynamic-membership
+plane (:mod:`repro.simulation.churn`) adds time-varying join/leave schedules
+drawn as compact ``(R, n)`` event planes: pass a ``ChurnModel`` or
+``ChurnScheduleBatch`` to either batched engine and members enter and leave
+mid-dissemination, with survivor-aware reliability accounting on
+``BatchProtocolResult``.
 """
 
 from repro.simulation.engine import EventScheduler, Event
 from repro.simulation.membership import FullView, UniformPartialView, MembershipView
+from repro.simulation.churn import (
+    ChurnModel,
+    ChurnSchedule,
+    ChurnScheduleBatch,
+    DeterministicChurnModel,
+    PoissonChurnModel,
+)
 from repro.simulation.failures import (
     FailureModel,
     FailurePattern,
@@ -67,6 +79,11 @@ __all__ = [
     "MembershipView",
     "FullView",
     "UniformPartialView",
+    "ChurnModel",
+    "ChurnSchedule",
+    "ChurnScheduleBatch",
+    "PoissonChurnModel",
+    "DeterministicChurnModel",
     "FailureModel",
     "FailurePattern",
     "FailurePatternBatch",

@@ -1,0 +1,302 @@
+"""Dynamic-membership churn: time-varying join/leave event planes.
+
+The paper (and every engine in this repository until now) assumes a *static*
+membership: the group is fixed before dissemination starts and only fail-stop
+crashes remove members from the computation.  Production gossip systems run
+under **churn** — nodes join and leave *while* a message is disseminating —
+and gossip over bounded partial views maintained by a peer-sampling service
+(the HyParView/Brahms family).  This module supplies the churn half of that
+picture as a compact batched event plane, mirroring the design of
+:class:`~repro.simulation.failures.FailurePatternBatch`:
+
+* :class:`ChurnSchedule` / :class:`ChurnScheduleBatch` — realised join/leave
+  schedules.  Instead of materialising an ``(R, n, T)`` per-round presence
+  cube, a schedule stores two ``(R, n)`` integer planes — ``join_round`` and
+  ``leave_round`` — from which the presence mask of *any* round is two
+  comparisons (:meth:`ChurnScheduleBatch.present_at`).  Round indices are the
+  engines' 1-based dissemination rounds; round 0 is the initial state (the
+  pbcast broadcast, the gossip source's own infection).
+* :class:`ChurnModel` — the abstract generator (sibling of
+  :class:`~repro.simulation.failures.FailureModel`), with
+  :class:`PoissonChurnModel` (independent geometric per-round join/leave
+  hazards — the discrete-time Poisson process) and
+  :class:`DeterministicChurnModel` (explicit event lists, for tests and
+  engineered worst cases).
+
+Churn composes with, and is orthogonal to, the crash plane: ``alive`` masks
+say who *fail-stops* (receives but never forwards), presence masks say who is
+*in the group at all* at a given round.  A member counts for the
+churn-resilience metrics only as a **survivor** — nonfailed *and* present
+when dissemination ends.
+
+Determinism discipline (the same one PR 4 established for message loss):
+**zero churn draws no randomness**.  A :class:`PoissonChurnModel` with all
+rates at zero consumes nothing from the generator and returns a *trivial*
+schedule, and the engines skip the churn plane entirely for trivial
+schedules — so churn-aware runs at rate 0 are bit-for-bit identical to the
+static-membership path at the same seed
+(``tests/protocols/test_protocol_churn.py`` pins exactly that for the whole
+protocol zoo).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_integer, check_probability
+
+__all__ = [
+    "NEVER",
+    "ChurnSchedule",
+    "ChurnScheduleBatch",
+    "ChurnModel",
+    "PoissonChurnModel",
+    "DeterministicChurnModel",
+]
+
+#: Sentinel round index meaning "this event never happens": members with
+#: ``join_round == NEVER`` never join, members with ``leave_round == NEVER``
+#: never leave.  Any realistic round horizon is far below it.
+NEVER = np.int64(np.iinfo(np.int32).max)
+
+
+def _check_plane_args(n: int, source: int) -> None:
+    """Cheap per-draw argument guard (two comparisons, no helper chain)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 0 <= source < n:
+        raise ValueError(f"source must be in [0, {n}), got {source}")
+
+
+@dataclass(frozen=True)
+class ChurnSchedule:
+    """A realised join/leave schedule for one execution.
+
+    Attributes
+    ----------
+    join_round:
+        ``(n,)`` integer round at which each member joins the group.
+        ``0`` means present from the start; :data:`NEVER` means the member
+        never joins.
+    leave_round:
+        ``(n,)`` integer round from which each member is gone.  A member is
+        present during round ``t`` iff ``join_round <= t < leave_round``;
+        :data:`NEVER` means the member never leaves.
+    """
+
+    join_round: np.ndarray
+    leave_round: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """Return the group size ``n``."""
+        return int(self.join_round.shape[0])
+
+    def is_trivial(self) -> bool:
+        """Return True iff no member ever joins late or leaves (static group)."""
+        return not (self.join_round.any() or (self.leave_round != NEVER).any())
+
+    def present_at(self, round_index: int) -> np.ndarray:
+        """Return the ``(n,)`` presence mask during round ``round_index``."""
+        return (self.join_round <= round_index) & (self.leave_round > round_index)
+
+
+@dataclass(frozen=True)
+class ChurnScheduleBatch:
+    """``R`` realised join/leave schedules as ``(R, n)`` integer planes.
+
+    The batched analogue of :class:`ChurnSchedule` with a leading replica
+    axis — the input the churn-aware batched engines consume.  Storing event
+    *rounds* instead of per-round presence masks keeps the plane at
+    ``2·R·n`` integers regardless of the round horizon.
+    """
+
+    join_round: np.ndarray
+    leave_round: np.ndarray
+
+    @property
+    def repetitions(self) -> int:
+        """Return the number of replicas ``R``."""
+        return int(self.join_round.shape[0])
+
+    @property
+    def n(self) -> int:
+        """Return the group size ``n``."""
+        return int(self.join_round.shape[1])
+
+    def is_trivial(self) -> bool:
+        """Return True iff no replica has any join/leave event (static group)."""
+        return not (self.join_round.any() or (self.leave_round != NEVER).any())
+
+    def present_at(self, round_index: int) -> np.ndarray:
+        """Return the ``(R, n)`` presence masks during round ``round_index``."""
+        return (self.join_round <= round_index) & (self.leave_round > round_index)
+
+    def present_at_rounds(self, rounds: np.ndarray) -> np.ndarray:
+        """Return per-replica presence at a per-replica round, shape ``(R, n)``.
+
+        ``rounds[r]`` is the round index at which replica ``r`` is probed —
+        typically the replica's final dissemination round, which makes the
+        result the replica's **survivor** candidates (combine with ``alive``
+        for the actual survivors).
+        """
+        rounds = np.asarray(rounds, dtype=np.int64)[:, None]
+        return (self.join_round <= rounds) & (self.leave_round > rounds)
+
+    def schedule(self, replica: int) -> ChurnSchedule:
+        """Return one replica as a scalar :class:`ChurnSchedule` record."""
+        replica = check_integer("replica", replica, minimum=0, maximum=self.repetitions - 1)
+        return ChurnSchedule(
+            join_round=self.join_round[replica].copy(),
+            leave_round=self.leave_round[replica].copy(),
+        )
+
+
+def trivial_schedule_batch(n: int, repetitions: int) -> ChurnScheduleBatch:
+    """Return the static-membership schedule (everyone present forever)."""
+    return ChurnScheduleBatch(
+        join_round=np.zeros((repetitions, n), dtype=np.int64),
+        leave_round=np.full((repetitions, n), NEVER, dtype=np.int64),
+    )
+
+
+class ChurnModel(ABC):
+    """Abstract generator of join/leave schedules."""
+
+    @abstractmethod
+    def draw_batch(
+        self, n: int, repetitions: int, rng: np.random.Generator, *, source: int = 0
+    ) -> ChurnScheduleBatch:
+        """Draw ``repetitions`` independent schedules as ``(R, n)`` planes.
+
+        Implementations must keep the source present throughout (the paper's
+        "source never fails" assumption extends to "the source never
+        churns"), and must consume **no randomness** when the model is
+        configured for zero churn, so rate-0 runs stay bit-identical to the
+        static path.
+        """
+
+    def draw(self, n: int, rng: np.random.Generator, *, source: int = 0) -> ChurnSchedule:
+        """Draw one scalar schedule (a single-replica batch draw)."""
+        return self.draw_batch(n, 1, rng, source=source).schedule(0)
+
+
+@dataclass
+class PoissonChurnModel(ChurnModel):
+    """Independent geometric join/leave hazards (discrete-time Poisson churn).
+
+    Every non-source member independently:
+
+    * starts **absent** with probability ``initially_absent`` and joins at a
+      geometric time with per-round hazard ``join_rate`` (never, when
+      ``join_rate`` is 0 — the member sat out this dissemination);
+    * once present, stays for a geometric lifetime with per-round hazard
+      ``leave_rate`` counted from its join round (never leaves at rate 0).
+
+    With all three parameters at zero the draw consumes no randomness and
+    returns a trivial (static) schedule — the bit-identity discipline the
+    engines rely on.
+
+    Parameters
+    ----------
+    leave_rate:
+        Per-round probability that a present member leaves before the next
+        round (the churn knob the ``churn_resilience`` experiment sweeps).
+    join_rate:
+        Per-round join probability of an initially-absent member.
+    initially_absent:
+        Fraction of members (in expectation) absent when dissemination
+        starts — the join pool.
+    """
+
+    leave_rate: float = 0.0
+    join_rate: float = 0.0
+    initially_absent: float = 0.0
+
+    def __post_init__(self):
+        self.leave_rate = check_probability("leave_rate", self.leave_rate, allow_one=False)
+        self.join_rate = check_probability("join_rate", self.join_rate, allow_one=False)
+        self.initially_absent = check_probability("initially_absent", self.initially_absent)
+
+    def is_zero(self) -> bool:
+        """Return True iff this model can only produce trivial schedules."""
+        return self.leave_rate == 0.0 and self.initially_absent == 0.0
+
+    def draw_batch(
+        self, n: int, repetitions: int, rng: np.random.Generator, *, source: int = 0
+    ) -> ChurnScheduleBatch:
+        _check_plane_args(n, source)
+        if repetitions < 1:
+            raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+        if self.is_zero():
+            return trivial_schedule_batch(n, repetitions)
+        rng = as_generator(rng)
+        shape = (repetitions, n)
+        join_round = np.zeros(shape, dtype=np.int64)
+        if self.initially_absent > 0.0:
+            absent = rng.random(shape) < self.initially_absent
+            if self.join_rate > 0.0:
+                # Geometric support is 1, 2, ... — an initially-absent member
+                # joins at the earliest in round 1.
+                joins = rng.geometric(self.join_rate, size=shape).astype(np.int64)
+            else:
+                joins = np.full(shape, NEVER, dtype=np.int64)
+            join_round = np.where(absent, joins, 0)
+        if self.leave_rate > 0.0:
+            # Lifetimes are counted from the join round so late joiners are
+            # not penalised by an absolute leave clock; the sum is clipped
+            # back to the NEVER sentinel for never-joining members.
+            lifetime = rng.geometric(self.leave_rate, size=shape).astype(np.int64)
+            leave_round = np.minimum(join_round + lifetime, NEVER)
+        else:
+            leave_round = np.full(shape, NEVER, dtype=np.int64)
+        join_round[:, source] = 0
+        leave_round[:, source] = NEVER
+        return ChurnScheduleBatch(join_round=join_round, leave_round=leave_round)
+
+
+@dataclass
+class DeterministicChurnModel(ChurnModel):
+    """Explicit join/leave event lists, replayed identically in every replica.
+
+    Useful in tests and in engineered worst cases (e.g. tearing down a whole
+    region at round 2).  Events are ``(round, member)`` pairs: ``joins``
+    marks members absent until their join round, ``leaves`` removes members
+    from their leave round onward.  The source cannot be scheduled away.
+    """
+
+    joins: tuple = ()
+    leaves: tuple = ()
+
+    def __post_init__(self):
+        self.joins = tuple((int(r), int(m)) for r, m in self.joins)
+        self.leaves = tuple((int(r), int(m)) for r, m in self.leaves)
+        for name, events in (("joins", self.joins), ("leaves", self.leaves)):
+            for round_index, _ in events:
+                if round_index < 0:
+                    raise ValueError(f"{name} round indices must be >= 0, got {round_index}")
+
+    def draw_batch(
+        self, n: int, repetitions: int, rng: np.random.Generator, *, source: int = 0
+    ) -> ChurnScheduleBatch:
+        _check_plane_args(n, source)
+        if repetitions < 1:
+            raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+        join_row = np.zeros(n, dtype=np.int64)
+        leave_row = np.full(n, NEVER, dtype=np.int64)
+        for round_index, member in self.joins:
+            if 0 <= member < n:
+                join_row[member] = round_index
+        for round_index, member in self.leaves:
+            if 0 <= member < n:
+                leave_row[member] = min(leave_row[member], round_index)
+        join_row[source] = 0
+        leave_row[source] = NEVER
+        return ChurnScheduleBatch(
+            join_round=np.tile(join_row, (repetitions, 1)),
+            leave_round=np.tile(leave_row, (repetitions, 1)),
+        )

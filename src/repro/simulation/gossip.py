@@ -39,6 +39,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.distributions import FanoutDistribution
+from repro.simulation.churn import ChurnScheduleBatch
 from repro.simulation.engine import EventScheduler
 from repro.simulation.failures import FailurePattern, UniformCrashModel
 from repro.simulation.membership import FullView, MembershipView
@@ -368,6 +369,7 @@ def simulate_gossip_batch(
     membership: MembershipView | None = None,
     alive: np.ndarray | None = None,
     network: NetworkModel | None = None,
+    churn: ChurnScheduleBatch | None = None,
 ) -> BatchGossipResult:
     """Run ``repetitions`` independent gossip executions as one array program.
 
@@ -397,6 +399,14 @@ def simulate_gossip_batch(
         the per-replica drop counts surface as ``messages_dropped``.  With
         ``loss_probability == 0`` the batch is bit-for-bit identical to the
         ``network=None`` path.
+    churn:
+        Optional pre-drawn :class:`~repro.simulation.churn.ChurnScheduleBatch`
+        of join/leave events.  Per round ``t`` (1-based), frontier members no
+        longer present stop forwarding, and sends to currently-absent targets
+        are wasted: they count as sent but never arrive (they are *not*
+        network drops — the peer simply is not there).  A trivial schedule is
+        skipped entirely, so zero churn is bit-for-bit identical to the
+        ``churn=None`` path.
     """
     n = check_integer("n", n, minimum=1)
     q = check_probability("q", q)
@@ -406,6 +416,14 @@ def simulate_gossip_batch(
     view = membership if membership is not None else FullView(n)
     if view.n != n:
         raise ValueError(f"membership view is for n={view.n}, expected n={n}")
+    if churn is not None:
+        if (churn.repetitions, churn.n) != (repetitions, n):
+            raise ValueError(
+                f"churn schedule is for shape {(churn.repetitions, churn.n)}, "
+                f"expected {(repetitions, n)}"
+            )
+        if churn.is_trivial():
+            churn = None  # static group: take the churn-free path verbatim
 
     if alive is None:
         alive_masks = rng.random((repetitions, n)) < q
@@ -433,7 +451,16 @@ def simulate_gossip_batch(
     delivered_flat = delivered.ravel()
     alive_flat = alive_masks.ravel()
 
+    round_index = 0
     while True:
+        round_index += 1
+        present_flat = None
+        if churn is not None:
+            # Members that left (or have not yet joined) neither forward nor
+            # receive during this round.
+            present = churn.present_at(round_index)
+            present_flat = present.ravel()
+            frontier &= present
         active = frontier.any(axis=1)
         if not active.any():
             break
@@ -462,6 +489,18 @@ def simulate_gossip_batch(
             target_replica = target_replica[keep]
             if not targets.size:
                 continue
+        if present_flat is not None:
+            # Sends to absent peers are wasted: sent but never arrived (and
+            # never duplicates), without counting as network drops.
+            keep = present_flat[target_replica * n + targets]
+            if not keep.all():
+                arrived_per_replica = arrived_per_replica - np.bincount(
+                    target_replica[~keep], minlength=repetitions
+                )
+                targets = targets[keep]
+                target_replica = target_replica[keep]
+                if not targets.size:
+                    continue
 
         # Deliveries are booked per (replica, target) cell: duplicates are
         # targets already infected or repeated within this round's batch

@@ -40,6 +40,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.simulation.churn import ChurnModel, ChurnScheduleBatch
 from repro.simulation.failures import (
     FailureModel,
     FailurePatternBatch,
@@ -87,6 +88,12 @@ class BatchProtocolResult:
     failure:
         The batch failure pattern the replicas ran under (crash timing
         included, for mid-execution-crash bookkeeping).
+    present:
+        Optional ``(R, n)`` masks of members still in the group when each
+        replica's dissemination ended (``None`` for churn-free runs, where
+        everyone is present throughout).  Together with ``alive`` this
+        defines the **survivors** — the denominator of the churn-resilience
+        metrics.
     """
 
     protocol: str
@@ -98,6 +105,7 @@ class BatchProtocolResult:
     messages_dropped: np.ndarray
     rounds: np.ndarray
     failure: FailurePatternBatch
+    present: np.ndarray | None = None
 
     @property
     def repetitions(self) -> int:
@@ -128,6 +136,38 @@ class BatchProtocolResult:
         """Return the per-replica fraction of sent messages lost in transit."""
         sent = np.maximum(self.messages_sent, 1)
         return self.messages_dropped / sent
+
+    def survivors(self) -> np.ndarray:
+        """Return ``(R, n)`` masks of nonfailed members still present at the end.
+
+        Without churn this is exactly ``alive``; under churn a member counts
+        only if it neither crashed nor left before its replica's
+        dissemination finished.
+        """
+        if self.present is None:
+            return self.alive
+        return self.alive & self.present
+
+    def n_survivors(self) -> np.ndarray:
+        """Return the per-replica number of survivors, shape ``(R,)``."""
+        return self.survivors().sum(axis=1)
+
+    def survivor_fraction(self) -> np.ndarray:
+        """Return the per-replica fraction of nonfailed members that survived churn."""
+        return self.n_survivors() / np.maximum(self.n_alive(), 1)
+
+    def reliability_among_survivors(self) -> np.ndarray:
+        """Return the per-replica delivered/survivor ratio, shape ``(R,)``.
+
+        The churn-resilience headline metric: of the members that were still
+        nonfailed *and present* when dissemination ended, how many hold the
+        message?  Members that received and then left neither help nor hurt.
+        Identical to :meth:`reliability` for churn-free runs.
+        """
+        survivors = self.survivors()
+        return (self.delivered & survivors).sum(axis=1) / np.maximum(
+            survivors.sum(axis=1), 1
+        )
 
     def result(self, replica: int):
         """Return one replica as a scalar :class:`~repro.protocols.base.ProtocolResult`."""
@@ -188,6 +228,7 @@ def simulate_protocol_batch(
     seed=None,
     failure_model: FailureModel | None = None,
     network: NetworkModel | None = None,
+    churn: ChurnModel | ChurnScheduleBatch | None = None,
 ) -> BatchProtocolResult:
     """Run ``repetitions`` independent executions of ``protocol`` as one array program.
 
@@ -222,6 +263,17 @@ def simulate_protocol_batch(
         call).  The model is reset first so its counters describe this batch
         only.  With ``loss_probability == 0`` the batch is bit-for-bit
         identical to the ``network=None`` path.
+    churn:
+        Optional dynamic-membership plane: either a
+        :class:`~repro.simulation.churn.ChurnModel` (a fresh
+        :class:`~repro.simulation.churn.ChurnScheduleBatch` is drawn for this
+        batch, after the failure draw) or a pre-drawn schedule batch.
+        Members follow their join/leave schedules during dissemination;
+        sends to absent peers are wasted, and the result's ``present`` masks
+        record who was still in the group when each replica finished.  A
+        zero-rate model draws no randomness and a trivial schedule is
+        skipped, so churn rate 0 is bit-for-bit identical to the
+        ``churn=None`` path.
     """
     n = check_integer("n", n, minimum=2)
     q = check_probability("q", q)
@@ -233,22 +285,42 @@ def simulate_protocol_batch(
     alive = failure.alive.copy()
     alive[:, source] = True
 
-    if network is None:
-        # Legacy hook contract: external subclasses may still implement the
-        # loss-free 4-argument signature, so only thread the network through
-        # when one was actually requested.
-        out = protocol._disseminate_batch(n, alive, source, rng)
+    schedule: ChurnScheduleBatch | None
+    if isinstance(churn, ChurnModel):
+        # Drawn after the failure plane so adding churn never perturbs the
+        # failure draw of an otherwise-identical seeded run.
+        schedule = churn.draw_batch(n, repetitions, rng, source=source)
     else:
+        schedule = churn
+    if schedule is not None:
+        if (schedule.repetitions, schedule.n) != (repetitions, n):
+            raise ValueError(
+                f"churn schedule is for shape {(schedule.repetitions, schedule.n)}, "
+                f"expected {(repetitions, n)}"
+            )
+        if schedule.is_trivial():
+            schedule = None  # static group: take the churn-free path verbatim
+
+    # Legacy hook contract: external subclasses may still implement the
+    # loss-free 4-argument signature, so the network and churn planes are
+    # threaded through only when actually requested.
+    kwargs = {}
+    if network is not None:
         network.reset()
-        out = protocol._disseminate_batch(n, alive, source, rng, network=network)
+        kwargs["network"] = network
+    if schedule is not None:
+        kwargs["churn"] = schedule
+    out = protocol._disseminate_batch(n, alive, source, rng, **kwargs)
     if len(out) == 4:
         delivered, messages, dropped, rounds = out
     else:  # (delivered, messages, rounds) from a loss-free legacy hook
         delivered, messages, rounds = out
         dropped = np.zeros(repetitions, dtype=np.int64)
+    rounds = np.asarray(rounds, dtype=np.int64)
     delivered = np.asarray(delivered, dtype=bool)
     delivered &= alive  # failed members never count as delivered
     delivered[:, source] = True
+    present = schedule.present_at_rounds(rounds) if schedule is not None else None
     return BatchProtocolResult(
         protocol=protocol.name,
         n=n,
@@ -257,6 +329,7 @@ def simulate_protocol_batch(
         delivered=delivered,
         messages_sent=np.asarray(messages, dtype=np.int64),
         messages_dropped=np.asarray(dropped, dtype=np.int64),
-        rounds=np.asarray(rounds, dtype=np.int64),
+        rounds=rounds,
         failure=failure,
+        present=present,
     )

@@ -205,6 +205,30 @@ class TestDimensionFanout:
         assert res.rounds is not None and 1 <= res.rounds <= 8
         assert res.ci_low >= 0.9
 
+    def test_protocol_mode_with_targeted_failure_model(self):
+        from repro.experiments.dimensioning import _protocol_factory
+        from repro.simulation.failures import TargetedCrashModel
+
+        # Engineered failures replace the uniform-q draw: the solver must
+        # dimension against exactly the injected crash set.  Failing a fixed
+        # tenth of the group is harsher than q=0.975 uniform crashes on
+        # average, so the targeted run can never need a smaller fanout.
+        factory = _protocol_factory("fixed-fanout")
+        targeted = dimension_fanout(
+            400,
+            0.975,
+            0.9,
+            protocol_factory=factory,
+            failure_model=TargetedCrashModel(failed=tuple(range(10, 50))),
+            seed=19,
+        )
+        uniform = dimension_fanout(
+            400, 0.975, 0.9, protocol_factory=factory, seed=19
+        )
+        assert targeted.feasible
+        assert targeted.ci_low >= 0.9
+        assert targeted.fanout >= uniform.fanout
+
     def test_infeasible_target_reported(self):
         # Cap the search at a fanout well below what the target needs.
         res = dimension_fanout(

@@ -11,6 +11,7 @@ class TestRegistry:
     def test_all_figures_registered(self):
         ids = [spec.experiment_id for spec in list_experiments()]
         assert ids == [
+            "churn_resilience",
             "dimensioning",
             "fig2",
             "fig3",

@@ -1,0 +1,195 @@
+"""Unit tests for the dynamic-membership churn plane.
+
+The churn schedules must encode presence correctly (round 0 is the initial
+state, dissemination rounds are 1-based, a member is present during round
+``t`` iff ``join_round <= t < leave_round``), the models must keep the
+source in the group, and — the discipline every engine relies on — a
+zero-rate model must consume **no randomness** and produce a trivial
+schedule, so churn-aware runs at rate 0 stay bit-identical to static runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.churn import (
+    NEVER,
+    ChurnSchedule,
+    ChurnScheduleBatch,
+    DeterministicChurnModel,
+    PoissonChurnModel,
+    trivial_schedule_batch,
+)
+
+
+class TestChurnSchedule:
+    def test_presence_window_semantics(self):
+        schedule = ChurnSchedule(
+            join_round=np.array([0, 3, 0], dtype=np.int64),
+            leave_round=np.array([NEVER, NEVER, 2], dtype=np.int64),
+        )
+        assert schedule.n == 3
+        # Member 1 joins at round 3: absent before, present from 3 on.
+        np.testing.assert_array_equal(schedule.present_at(0), [True, False, True])
+        np.testing.assert_array_equal(schedule.present_at(2), [True, False, False])
+        np.testing.assert_array_equal(schedule.present_at(3), [True, True, False])
+        # Member 2 leaves at round 2: present during round 1, gone at 2.
+        np.testing.assert_array_equal(schedule.present_at(1), [True, False, True])
+
+    def test_trivial_detection(self):
+        static = ChurnSchedule(
+            join_round=np.zeros(4, dtype=np.int64),
+            leave_round=np.full(4, NEVER, dtype=np.int64),
+        )
+        assert static.is_trivial()
+        churned = ChurnSchedule(
+            join_round=np.zeros(4, dtype=np.int64),
+            leave_round=np.array([NEVER, 5, NEVER, NEVER], dtype=np.int64),
+        )
+        assert not churned.is_trivial()
+
+
+class TestChurnScheduleBatch:
+    def test_shapes_and_accessors(self):
+        batch = trivial_schedule_batch(7, 3)
+        assert batch.repetitions == 3
+        assert batch.n == 7
+        assert batch.is_trivial()
+        assert batch.present_at(0).shape == (3, 7)
+        assert batch.present_at(10).all()
+
+    def test_per_replica_presence_probe(self):
+        join = np.zeros((2, 3), dtype=np.int64)
+        leave = np.full((2, 3), NEVER, dtype=np.int64)
+        leave[0, 1] = 2  # replica 0: member 1 gone from round 2
+        leave[1, 2] = 5  # replica 1: member 2 gone from round 5
+        batch = ChurnScheduleBatch(join_round=join, leave_round=leave)
+        # Probe replica 0 at round 3 and replica 1 at round 4.
+        present = batch.present_at_rounds(np.array([3, 4]))
+        np.testing.assert_array_equal(present, [[True, False, True], [True, True, True]])
+        present = batch.present_at_rounds(np.array([1, 5]))
+        np.testing.assert_array_equal(present, [[True, True, True], [True, True, False]])
+
+    def test_scalar_slice(self):
+        join = np.zeros((2, 3), dtype=np.int64)
+        join[1, 2] = 4
+        batch = ChurnScheduleBatch(
+            join_round=join, leave_round=np.full((2, 3), NEVER, dtype=np.int64)
+        )
+        schedule = batch.schedule(1)
+        assert isinstance(schedule, ChurnSchedule)
+        np.testing.assert_array_equal(schedule.join_round, [0, 0, 4])
+        with pytest.raises(ValueError):
+            batch.schedule(2)
+
+
+class TestPoissonChurnModel:
+    def test_zero_rate_draws_no_randomness(self):
+        model = PoissonChurnModel()
+        assert model.is_zero()
+        rng = np.random.default_rng(5)
+        state_before = rng.bit_generator.state
+        schedule = model.draw_batch(50, 4, rng)
+        assert schedule.is_trivial()
+        assert rng.bit_generator.state == state_before
+
+    def test_initially_absent_only_is_not_zero(self):
+        # A pure join pool with no leavers still perturbs membership.
+        model = PoissonChurnModel(initially_absent=0.5, join_rate=0.2)
+        assert not model.is_zero()
+        schedule = model.draw_batch(400, 2, np.random.default_rng(1))
+        assert not schedule.is_trivial()
+        absent_at_start = ~schedule.present_at(0)
+        assert 0.3 < absent_at_start.mean() < 0.7
+
+    def test_source_never_churns(self):
+        model = PoissonChurnModel(leave_rate=0.5, join_rate=0.5, initially_absent=0.9)
+        schedule = model.draw_batch(30, 8, np.random.default_rng(2), source=3)
+        assert np.all(schedule.join_round[:, 3] == 0)
+        assert np.all(schedule.leave_round[:, 3] == NEVER)
+
+    def test_deterministic_for_seed(self):
+        model = PoissonChurnModel(leave_rate=0.1, join_rate=0.2, initially_absent=0.3)
+        a = model.draw_batch(100, 5, np.random.default_rng(7))
+        b = model.draw_batch(100, 5, np.random.default_rng(7))
+        np.testing.assert_array_equal(a.join_round, b.join_round)
+        np.testing.assert_array_equal(a.leave_round, b.leave_round)
+
+    def test_leave_rate_controls_attrition(self):
+        gentle = PoissonChurnModel(leave_rate=0.02)
+        harsh = PoissonChurnModel(leave_rate=0.3)
+        rng = np.random.default_rng(9)
+        present_gentle = gentle.draw_batch(2000, 4, rng).present_at(8).mean()
+        present_harsh = harsh.draw_batch(2000, 4, rng).present_at(8).mean()
+        assert present_harsh < present_gentle < 1.0
+
+    def test_absent_members_without_join_rate_never_join(self):
+        model = PoissonChurnModel(initially_absent=0.4)
+        schedule = model.draw_batch(500, 2, np.random.default_rng(11))
+        absent = schedule.join_round > 0
+        assert absent.any()
+        assert np.all(schedule.join_round[absent] == NEVER)
+
+    def test_lifetimes_count_from_join_round(self):
+        model = PoissonChurnModel(leave_rate=0.5, join_rate=0.5, initially_absent=1.0)
+        schedule = model.draw_batch(300, 2, np.random.default_rng(13), source=0)
+        joined = schedule.join_round > 0
+        # Geometric lifetimes have support >= 1: nobody leaves before joining.
+        assert np.all(schedule.leave_round[joined] > schedule.join_round[joined])
+
+    def test_scalar_draw_is_one_replica(self):
+        model = PoissonChurnModel(leave_rate=0.2)
+        schedule = model.draw(40, np.random.default_rng(15))
+        assert isinstance(schedule, ChurnSchedule)
+        assert schedule.n == 40
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            PoissonChurnModel(leave_rate=1.0)  # certain departure every round
+        with pytest.raises(ValueError):
+            PoissonChurnModel(join_rate=-0.1)
+        with pytest.raises(ValueError):
+            PoissonChurnModel(initially_absent=1.5)
+        model = PoissonChurnModel(leave_rate=0.1)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            model.draw_batch(0, 2, rng)
+        with pytest.raises(ValueError):
+            model.draw_batch(10, 0, rng)
+        with pytest.raises(ValueError):
+            model.draw_batch(10, 2, rng, source=10)
+
+
+class TestDeterministicChurnModel:
+    def test_event_semantics(self):
+        model = DeterministicChurnModel(joins=((3, 1),), leaves=((2, 2),))
+        schedule = model.draw_batch(4, 2, np.random.default_rng(0))
+        # Member 1 joins at round 3, member 2 leaves at round 2.
+        np.testing.assert_array_equal(schedule.present_at(0)[0], [True, False, True, True])
+        np.testing.assert_array_equal(schedule.present_at(1)[0], [True, False, True, True])
+        np.testing.assert_array_equal(schedule.present_at(2)[0], [True, False, False, True])
+        np.testing.assert_array_equal(schedule.present_at(3)[0], [True, True, False, True])
+        # Every replica replays the same events.
+        np.testing.assert_array_equal(schedule.join_round[0], schedule.join_round[1])
+
+    def test_earliest_leave_wins(self):
+        model = DeterministicChurnModel(leaves=((5, 1), (2, 1)))
+        schedule = model.draw_batch(3, 1, np.random.default_rng(0))
+        assert schedule.leave_round[0, 1] == 2
+
+    def test_source_immune_and_out_of_range_ignored(self):
+        model = DeterministicChurnModel(joins=((4, 0), (1, 99)), leaves=((2, 0),))
+        schedule = model.draw_batch(5, 1, np.random.default_rng(0), source=0)
+        assert schedule.join_round[0, 0] == 0
+        assert schedule.leave_round[0, 0] == NEVER
+
+    def test_draws_no_randomness(self):
+        rng = np.random.default_rng(3)
+        state_before = rng.bit_generator.state
+        DeterministicChurnModel(leaves=((1, 2),)).draw_batch(10, 4, rng)
+        assert rng.bit_generator.state == state_before
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(ValueError):
+            DeterministicChurnModel(joins=((-1, 2),))

@@ -167,9 +167,19 @@ class TestCommittedBaselines:
                 record = json.load(fh)
             speedups = check_regression.collect_speedups(record)
             assert speedups, f"{name}: no speedup ratios"
-            assert all(v > 1.0 for v in speedups.values()), (
-                f"{name}: a committed baseline ratio is not a speedup at all"
-            )
+            for key, value in speedups.items():
+                if "churn_overhead" in key:
+                    # Retained-throughput ratios (static time / churned time)
+                    # ride the gate under the ``speedup`` key by design and
+                    # legitimately sit below 1.0 — churned runs do extra work
+                    # (see benchmarks/baselines/README.md).
+                    assert 0.0 < value <= 1.0, (
+                        f"{name}: {key} is not a retained-throughput ratio"
+                    )
+                else:
+                    assert value > 1.0, (
+                        f"{name}: {key} is not a speedup at all"
+                    )
 
     def test_baselines_pass_against_themselves(self):
         problems = check_regression.check_directories(
