@@ -117,7 +117,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[spec.experiment_id for spec in list_experiments()],
         help=(
             "experiment id (fig2 .. fig7, sec4_percolation_validation, "
-            "protocol_comparison, loss_resilience, dimensioning, churn_resilience)"
+            "protocol_comparison, loss_resilience, dimensioning, "
+            "churn_resilience, recovery_resilience)"
         ),
     )
     experiment.add_argument(
@@ -135,7 +136,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[spec.experiment_id for spec in list_experiments()],
         help=(
             "experiment id (fig2 .. fig7, sec4_percolation_validation, "
-            "protocol_comparison, loss_resilience, dimensioning, churn_resilience)"
+            "protocol_comparison, loss_resilience, dimensioning, "
+            "churn_resilience, recovery_resilience)"
         ),
     )
     run.add_argument(

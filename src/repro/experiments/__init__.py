@@ -36,6 +36,12 @@ from repro.experiments.loss_resilience import (
     LossResilienceResult,
     run_loss_resilience,
 )
+from repro.experiments.recovery_resilience import (
+    RecoveryPoint,
+    RecoveryResilienceConfig,
+    RecoveryResilienceResult,
+    run_recovery_resilience,
+)
 from repro.experiments.sec4_percolation_validation import Sec4Config, Sec4Result, run_sec4
 from repro.experiments.registry import get_experiment, list_experiments
 
@@ -73,6 +79,10 @@ __all__ = [
     "ChurnResilienceConfig",
     "ChurnResilienceResult",
     "run_churn_resilience",
+    "RecoveryPoint",
+    "RecoveryResilienceConfig",
+    "RecoveryResilienceResult",
+    "run_recovery_resilience",
     "get_experiment",
     "list_experiments",
 ]

@@ -58,23 +58,36 @@ PAPER_REFERENCE = (
 _CHUNK_REPETITIONS = 8
 
 
-def protocol_zoo(mean_fanout: int, rounds: int, *, include_peer_sampling: bool = False) -> tuple:
+def protocol_zoo(
+    mean_fanout: int,
+    rounds: int,
+    *,
+    include_peer_sampling: bool = False,
+    include_recovery: bool = False,
+) -> tuple:
     """Return the ``(protocol_id, Protocol)`` rows at equal per-member effort.
 
     The single place the protocol-level experiments (``protocol_comparison``,
-    ``loss_resilience``, ``churn_resilience``) and benchmarks instantiate the
+    ``loss_resilience``, ``churn_resilience``, ``recovery_resilience``) and
+    benchmarks instantiate the
     zoo, so every workload compares exactly the same dimensioning:
     ``mean_fanout`` is the push fanout of every gossip protocol and the
     overlay degree of flooding; ``rounds`` bounds the periodic protocols
     (pbcast, lpbcast, RDG).  ``include_peer_sampling`` appends the
     HyParView-style peer-sampling protocol (a small self-repairing active
     view backed by a passive reservoir) — off by default so the static
-    experiments keep their historical six-row grid.
+    experiments keep their historical six-row grid.  ``include_recovery``
+    appends the two-phase recovery protocols (lazy-push with IHAVE/IWANT
+    repair, anti-entropy reconciliation) at the same fanout budget; their
+    recovery knobs (retry budget, eager threshold, reconciliation fanout)
+    are fixed here so every workload measures one dimensioning.
     """
     from repro.protocols import (
+        AntiEntropyProtocol,
         FixedFanoutGossip,
         FloodingProtocol,
         HyParViewProtocol,
+        LazyPushProtocol,
         LpbcastProtocol,
         PbcastProtocol,
         RandomFanoutGossip,
@@ -102,6 +115,19 @@ def protocol_zoo(mean_fanout: int, rounds: int, *, include_peer_sampling: bool =
                     shuffle_interval=1,
                 ),
             ),
+        )
+    if include_recovery:
+        rows += (
+            (
+                "lazy-push",
+                LazyPushProtocol(
+                    fanout=f,
+                    rounds=rounds,
+                    eager_threshold=0.4,
+                    retry_budget=10,
+                ),
+            ),
+            ("anti-entropy", AntiEntropyProtocol(fanout=max(1, f // 2), rounds=rounds)),
         )
     return rows
 

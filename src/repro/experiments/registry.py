@@ -20,6 +20,7 @@ from repro.experiments import (
     fig7_success_f6_q06,
     loss_resilience,
     protocol_comparison,
+    recovery_resilience,
     sec4_percolation_validation,
 )
 
@@ -127,6 +128,13 @@ _REGISTRY: dict[str, ExperimentSpec] = {
         paper_reference=churn_resilience.PAPER_REFERENCE,
         config_factory=churn_resilience.ChurnResilienceConfig,
         runner=churn_resilience.run_churn_resilience,
+        analytical_only=False,
+    ),
+    "recovery_resilience": ExperimentSpec(
+        experiment_id="recovery_resilience",
+        paper_reference=recovery_resilience.PAPER_REFERENCE,
+        config_factory=recovery_resilience.RecoveryResilienceConfig,
+        runner=recovery_resilience.run_recovery_resilience,
         analytical_only=False,
     ),
 }

@@ -23,6 +23,12 @@ those protocols on top of the same simulation substrate:
 * :class:`~repro.protocols.hyparview.HyParViewProtocol` — HyParView-style
   peer sampling: push gossip over a bounded active view that self-repairs
   from a passive view under churn, with a periodic shuffle.
+* :class:`~repro.protocols.lazy_push.LazyPushProtocol` — two-phase
+  lazy push: eager payload push below an infection threshold, then
+  IHAVE/IWANT digest-driven recovery with per-member retry budgets.
+* :class:`~repro.protocols.anti_entropy.AntiEntropyProtocol` — classic
+  anti-entropy: periodic push-pull reconciliation by every member, the
+  epidemic-repair backstop.
 
 All protocols implement the :class:`~repro.protocols.base.Protocol` interface
 and return :class:`~repro.protocols.base.ProtocolResult`.
@@ -36,6 +42,8 @@ from repro.protocols.lpbcast import LpbcastProtocol
 from repro.protocols.rdg import RouteDrivenGossip
 from repro.protocols.flooding import FloodingProtocol
 from repro.protocols.hyparview import HyParViewProtocol
+from repro.protocols.lazy_push import LazyPushProtocol
+from repro.protocols.anti_entropy import AntiEntropyProtocol
 
 __all__ = [
     "Protocol",
@@ -47,4 +55,6 @@ __all__ = [
     "RouteDrivenGossip",
     "FloodingProtocol",
     "HyParViewProtocol",
+    "LazyPushProtocol",
+    "AntiEntropyProtocol",
 ]

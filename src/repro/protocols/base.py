@@ -56,6 +56,12 @@ class ProtocolResult:
     messages_dropped:
         Messages lost in transit (0 unless the run used a lossy
         :class:`~repro.simulation.network.NetworkModel`).
+    control_messages_sent:
+        The subset of ``messages_sent`` that carried no payload — digests,
+        IHAVE advertisements, IWANT/pull requests.  Protocols that only ever
+        push payload report 0, so ``messages_sent - control_messages_sent``
+        is always the number of payload-carrying transmissions and cost
+        comparisons across push and recovery protocols stay honest.
     """
 
     protocol: str
@@ -65,6 +71,7 @@ class ProtocolResult:
     messages_sent: int
     rounds: int
     messages_dropped: int = 0
+    control_messages_sent: int = 0
 
     def n_alive(self) -> int:
         """Return the number of nonfailed members."""
@@ -82,6 +89,14 @@ class ProtocolResult:
     def messages_per_member(self) -> float:
         """Return the message cost normalised by group size."""
         return self.messages_sent / self.n if self.n else 0.0
+
+    def payload_messages_sent(self) -> int:
+        """Return the number of payload-carrying messages (total minus control)."""
+        return self.messages_sent - self.control_messages_sent
+
+    def payload_messages_per_member(self) -> float:
+        """Return the payload-only message cost normalised by group size."""
+        return self.payload_messages_sent() / self.n if self.n else 0.0
 
 
 class Protocol(ABC):
@@ -131,14 +146,17 @@ class Protocol(ABC):
         if network is None:
             # Legacy contract: external subclasses may implement the
             # loss-free 4-argument ``_disseminate`` signature.
-            delivered, messages, rounds = self._disseminate(n, alive, source, rng)
+            out = self._disseminate(n, alive, source, rng)
             dropped = 0
         else:
             network.reset()
-            delivered, messages, rounds = self._disseminate(
-                n, alive, source, rng, network=network
-            )
+            out = self._disseminate(n, alive, source, rng, network=network)
             dropped = network.messages_dropped
+        if len(out) == 4:
+            delivered, messages, rounds, control = out
+        else:
+            delivered, messages, rounds = out
+            control = 0
         delivered = np.asarray(delivered, dtype=bool)
         delivered &= alive  # failed members never count as delivered
         delivered[source] = True
@@ -150,6 +168,7 @@ class Protocol(ABC):
             messages_sent=int(messages),
             rounds=int(rounds),
             messages_dropped=int(dropped),
+            control_messages_sent=int(control),
         )
 
     def run_batch(
@@ -201,7 +220,9 @@ class Protocol(ABC):
         ``network`` (when not ``None``) supplies the independent message-loss
         law via :meth:`~repro.simulation.network.NetworkModel.draw_loss`; the
         engine only passes it when a lossy run was requested, so legacy
-        4-argument implementations keep working loss-free.
+        4-argument implementations keep working loss-free.  Protocols that
+        distinguish control traffic append a fourth element: ``(delivered,
+        messages, rounds, control_messages)``.
         """
 
     def _disseminate_batch(
@@ -212,12 +233,14 @@ class Protocol(ABC):
         rng: np.random.Generator,
         network: NetworkModel | None = None,
         churn=None,
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, ...]:
         """Batched dissemination hook: ``(R, n)`` alive masks in, per-replica results out.
 
         Returns ``(delivered (R, n), messages_sent (R,), messages_dropped
         (R,), rounds (R,))`` — the engine also accepts the legacy 3-tuple
-        without the drop counts from external subclasses.  ``churn`` (a
+        without the drop counts from external subclasses, and a 5-tuple with
+        a trailing per-replica ``control_messages_sent (R,)`` from protocols
+        that split control traffic from payload.  ``churn`` (a
         :class:`~repro.simulation.churn.ChurnScheduleBatch`) is threaded
         through only for churn-aware runs, mirroring the ``network``
         contract, so legacy signatures keep working.  The base
@@ -235,18 +258,20 @@ class Protocol(ABC):
         messages = np.zeros(repetitions, dtype=np.int64)
         dropped = np.zeros(repetitions, dtype=np.int64)
         rounds = np.zeros(repetitions, dtype=np.int64)
+        control = np.zeros(repetitions, dtype=np.int64)
         for replica in range(repetitions):
             if network is None:
-                replica_delivered, replica_messages, replica_rounds = self._disseminate(
-                    n, alive[replica], source, rng
-                )
+                out = self._disseminate(n, alive[replica], source, rng)
             else:
                 dropped_before = network.messages_dropped
-                replica_delivered, replica_messages, replica_rounds = self._disseminate(
-                    n, alive[replica], source, rng, network=network
-                )
+                out = self._disseminate(n, alive[replica], source, rng, network=network)
                 dropped[replica] = network.messages_dropped - dropped_before
+            if len(out) == 4:
+                replica_delivered, replica_messages, replica_rounds, replica_control = out
+                control[replica] = int(replica_control)
+            else:
+                replica_delivered, replica_messages, replica_rounds = out
             delivered[replica] = np.asarray(replica_delivered, dtype=bool)
             messages[replica] = int(replica_messages)
             rounds[replica] = int(replica_rounds)
-        return delivered, messages, dropped, rounds
+        return delivered, messages, dropped, rounds, control

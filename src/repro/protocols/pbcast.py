@@ -43,6 +43,7 @@ class PbcastProtocol(Protocol):
         has_message = np.zeros(n, dtype=bool)
         has_message[source] = True
         messages = 0
+        control = 0
 
         # Phase 1: unreliable best-effort broadcast from the source.
         reached = rng.random(n) < self.broadcast_reach
@@ -69,6 +70,7 @@ class PbcastProtocol(Protocol):
             for member in holders:
                 targets = sample_distinct(rng, n, self.fanout, exclude=int(member))
                 messages += int(targets.size)  # digest messages
+                control += int(targets.size)  # digests carry no payload
                 if network is not None:
                     targets = targets[network.draw_loss(rng, targets.size)]
                 for target in targets:
@@ -83,7 +85,7 @@ class PbcastProtocol(Protocol):
                 # Converged: every digest found an up-to-date peer.
                 break
             has_message[np.array(newly, dtype=np.int64)] = True
-        return has_message, messages, rounds_executed
+        return has_message, messages, rounds_executed, control
 
     def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None):
         repetitions = int(alive.shape[0])
@@ -92,6 +94,7 @@ class PbcastProtocol(Protocol):
         messages = np.zeros(repetitions, dtype=np.int64)
         dropped = np.zeros(repetitions, dtype=np.int64)
         rounds = np.zeros(repetitions, dtype=np.int64)
+        control = np.zeros(repetitions, dtype=np.int64)
 
         # Phase 1: one (R, n) draw realises every replica's unreliable
         # broadcast; only members that are up can buffer the message.
@@ -142,7 +145,9 @@ class PbcastProtocol(Protocol):
             cells, target_replica = sample_group_targets_batch(
                 n, rep_idx, mem_idx, self.fanout, rng
             )
-            messages += np.bincount(target_replica, minlength=repetitions)  # digests
+            digest_counts = np.bincount(target_replica, minlength=repetitions)
+            messages += digest_counts  # digests
+            control += digest_counts  # digests carry no payload
             if network is not None:
                 keep, dropped_round = network.draw_loss_batch(rng, target_replica, repetitions)
                 dropped += dropped_round
@@ -170,4 +175,4 @@ class PbcastProtocol(Protocol):
             fresh = np.unique(pull_cells)
             active &= np.bincount(fresh // n, minlength=repetitions) > 0
             has_flat[fresh] = True
-        return has_message, messages, dropped, rounds
+        return has_message, messages, dropped, rounds, control

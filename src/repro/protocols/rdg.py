@@ -42,6 +42,7 @@ class RouteDrivenGossip(Protocol):
         has_message = np.zeros(n, dtype=bool)
         has_message[source] = True
         messages = 0
+        control = 0
         rounds_executed = 0
         for _ in range(self.rounds):
             rounds_executed += 1
@@ -68,6 +69,7 @@ class RouteDrivenGossip(Protocol):
                 for member in missing:
                     peers = sample_distinct(rng, n, self.pull_fanout, exclude=int(member))
                     messages += int(peers.size)  # pull requests
+                    control += int(peers.size)  # requests carry no payload
                     if network is not None:
                         # A lost request never reaches its peer.
                         peers = peers[network.draw_loss(rng, peers.size)]
@@ -80,7 +82,7 @@ class RouteDrivenGossip(Protocol):
                     has_message[np.array(recovered, dtype=np.int64)] = True
             if bool(np.all(has_message[alive])):
                 break
-        return has_message, messages, rounds_executed
+        return has_message, messages, rounds_executed, control
 
     def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None):
         repetitions = int(alive.shape[0])
@@ -91,6 +93,7 @@ class RouteDrivenGossip(Protocol):
         messages = np.zeros(repetitions, dtype=np.int64)
         dropped = np.zeros(repetitions, dtype=np.int64)
         rounds = np.zeros(repetitions, dtype=np.int64)
+        control = np.zeros(repetitions, dtype=np.int64)
 
         active = np.ones(repetitions, dtype=bool)
         pull_fanout = min(self.pull_fanout, n - 1)
@@ -136,7 +139,9 @@ class RouteDrivenGossip(Protocol):
                     peer_cells, peer_replica = sample_group_targets_batch(
                         n, miss_rep, miss_mem, pull_fanout, rng
                     )
-                    messages += np.bincount(peer_replica, minlength=repetitions)  # requests
+                    request_counts = np.bincount(peer_replica, minlength=repetitions)
+                    messages += request_counts  # requests
+                    control += request_counts  # requests carry no payload
                     # One response per missing member whose *surviving*
                     # requests include at least one nonfailed holder; the
                     # response itself is one more lossy message.
@@ -162,4 +167,4 @@ class RouteDrivenGossip(Protocol):
                         recovered[np.flatnonzero(responding)[~keep]] = False
                     has_flat[miss_rep[recovered] * n + miss_mem[recovered]] = True
             active &= np.any(alive & ~has_message, axis=1)
-        return has_message, messages, dropped, rounds
+        return has_message, messages, dropped, rounds, control

@@ -49,6 +49,7 @@ from repro.simulation.failures import (
     CrashTiming,
 )
 from repro.simulation.network import (
+    GilbertElliottNetworkModel,
     NetworkModel,
     latency_constant,
     latency_exponential,
@@ -91,6 +92,7 @@ __all__ = [
     "TargetedCrashModel",
     "CrashTiming",
     "NetworkModel",
+    "GilbertElliottNetworkModel",
     "latency_constant",
     "latency_exponential",
     "latency_uniform",

@@ -29,7 +29,13 @@ import numpy as np
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_probability
 
-__all__ = ["NetworkModel", "latency_constant", "latency_uniform", "latency_exponential"]
+__all__ = [
+    "NetworkModel",
+    "GilbertElliottNetworkModel",
+    "latency_constant",
+    "latency_uniform",
+    "latency_exponential",
+]
 
 
 def latency_constant(value: float = 1.0) -> Callable[[np.random.Generator], float]:
@@ -164,3 +170,148 @@ class NetworkModel:
     def reset_counters(self) -> None:
         """Backwards-compatible alias of :meth:`reset`."""
         self.reset()
+
+
+@dataclass
+class GilbertElliottNetworkModel(NetworkModel):
+    """Two-state Markov (Gilbert–Elliott) bursty-loss channel.
+
+    The channel alternates between a *good* state dropping messages with the
+    inherited ``loss_probability`` and a *bad* state dropping them with
+    ``bad_loss_probability``; state transitions follow a two-state Markov
+    chain (``p_good_to_bad``, ``p_bad_to_good``).  Consecutive draws are
+    therefore **correlated**: a round that lands in the bad state loses a
+    burst of messages at once — exactly the regime where recovery protocols
+    (IHAVE/IWANT, anti-entropy) should dominate pure push.
+
+    Granularity: the chain advances **once per draw call** — per
+    :meth:`transmit` on the event-driven path, per :meth:`draw_loss` call
+    (one sender's burst) on the scalar engines, and once per replica per
+    :meth:`draw_loss_batch` call (one round leg) on the batched engines.  A
+    round leg is thus one coherence interval (block fading), so the scalar
+    and batched paths share the loss *law per leg* but not a per-message
+    chain; cross-path pins for this channel are distributional only.
+
+    Determinism contracts preserved from the base class:
+
+    * both rates 0 → every path short-circuits all-``True`` and consumes
+      **no randomness** (p=0 stays bit-identical to loss-free);
+    * both rates equal → the state cannot matter, so every draw defers to
+      the base class verbatim and the channel **collapses to the i.i.d.
+      Bernoulli model bit-for-bit**.
+
+    The chain starts from its stationary distribution (one extra uniform on
+    first use), so the realised long-run drop rate matches
+    :meth:`mean_loss_probability` without a warm-up transient.
+    """
+
+    bad_loss_probability: float = 0.0
+    p_good_to_bad: float = 0.0
+    p_bad_to_good: float = 1.0
+    #: per-chain state: ``None`` until first lossy draw (lazily initialised
+    #: from the stationary distribution), then a bool / ``(R,)`` bool array.
+    _scalar_bad: bool | None = field(default=None, init=False, repr=False, compare=False)
+    _batch_bad: np.ndarray | None = field(default=None, init=False, repr=False, compare=False)
+
+    def __post_init__(self):
+        super().__post_init__()
+        self.bad_loss_probability = check_probability(
+            "bad_loss_probability", self.bad_loss_probability
+        )
+        self.p_good_to_bad = check_probability("p_good_to_bad", self.p_good_to_bad)
+        self.p_bad_to_good = check_probability("p_bad_to_good", self.p_bad_to_good)
+
+    def _is_iid(self) -> bool:
+        """True when the state cannot matter (both states share one drop rate)."""
+        return self.bad_loss_probability == self.loss_probability
+
+    def stationary_bad_fraction(self) -> float:
+        """Return the stationary probability of the bad state."""
+        denominator = self.p_good_to_bad + self.p_bad_to_good
+        if denominator <= 0.0:
+            return 0.0  # frozen chain; it starts (and stays) good
+        return self.p_good_to_bad / denominator
+
+    def mean_loss_probability(self) -> float:
+        """Return the long-run (stationary) per-message drop probability."""
+        bad = self.stationary_bad_fraction()
+        return (1.0 - bad) * self.loss_probability + bad * self.bad_loss_probability
+
+    def _advance_scalar(self, rng: np.random.Generator) -> float:
+        """Advance the scalar chain one step; return the current drop rate."""
+        if self._scalar_bad is None:
+            self._scalar_bad = bool(rng.random() < self.stationary_bad_fraction())
+        elif self._scalar_bad:
+            self._scalar_bad = not (rng.random() < self.p_bad_to_good)
+        else:
+            self._scalar_bad = bool(rng.random() < self.p_good_to_bad)
+        return self.bad_loss_probability if self._scalar_bad else self.loss_probability
+
+    def _advance_batch(self, rng: np.random.Generator, repetitions: int) -> np.ndarray:
+        """Advance every replica's chain one step; return ``(R,)`` bad-state mask."""
+        if self._batch_bad is None or self._batch_bad.size != repetitions:
+            self._batch_bad = rng.random(repetitions) < self.stationary_bad_fraction()
+        else:
+            uniforms = rng.random(repetitions)
+            self._batch_bad = np.where(
+                self._batch_bad,
+                uniforms >= self.p_bad_to_good,
+                uniforms < self.p_good_to_bad,
+            )
+        return self._batch_bad
+
+    def transmit(self, rng: np.random.Generator, deliver: Callable[[float], None]) -> bool:
+        if self._is_iid():
+            return super().transmit(rng, deliver)
+        rng = as_generator(rng)
+        self.messages_sent += 1
+        rate = self._advance_scalar(rng)
+        if rate > 0.0 and rng.random() < rate:
+            self.messages_dropped += 1
+            return False
+        delay = self.latency(rng)
+        self.total_latency += delay
+        deliver(delay)
+        return True
+
+    def draw_loss(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        if self._is_iid():
+            return super().draw_loss(rng, count)
+        count = int(count)
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self.messages_sent += count
+        if count == 0:
+            return np.ones(0, dtype=bool)
+        rate = self._advance_scalar(as_generator(rng))
+        if rate <= 0.0:
+            return np.ones(count, dtype=bool)
+        keep = as_generator(rng).random(count) >= rate
+        self.messages_dropped += count - int(keep.sum())
+        return keep
+
+    def draw_loss_batch(
+        self,
+        rng: np.random.Generator,
+        target_replica: np.ndarray,
+        repetitions: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if self._is_iid():
+            return super().draw_loss_batch(rng, target_replica, repetitions)
+        target_replica = np.asarray(target_replica, dtype=np.int64)
+        count = int(target_replica.size)
+        self.messages_sent += count
+        if count == 0:
+            return np.ones(0, dtype=bool), np.zeros(repetitions, dtype=np.int64)
+        rng = as_generator(rng)
+        bad = self._advance_batch(rng, repetitions)
+        rates = np.where(bad, self.bad_loss_probability, self.loss_probability)
+        keep = rng.random(count) >= rates[target_replica]
+        dropped = np.bincount(target_replica[~keep], minlength=repetitions)
+        self.messages_dropped += count - int(keep.sum())
+        return keep, dropped.astype(np.int64, copy=False)
+
+    def reset(self) -> None:
+        super().reset()
+        self._scalar_bad = None
+        self._batch_bad = None

@@ -94,6 +94,11 @@ class BatchProtocolResult:
         everyone is present throughout).  Together with ``alive`` this
         defines the **survivors** — the denominator of the churn-resilience
         metrics.
+    control_messages_sent:
+        Optional ``(R,)`` per-replica counts of control messages (digests,
+        IHAVE/IWANT, pull requests) — the subset of ``messages_sent`` that
+        carried no payload.  ``None`` for protocols that never distinguish
+        control traffic (treated as all-payload).
     """
 
     protocol: str
@@ -106,6 +111,7 @@ class BatchProtocolResult:
     rounds: np.ndarray
     failure: FailurePatternBatch
     present: np.ndarray | None = None
+    control_messages_sent: np.ndarray | None = None
 
     @property
     def repetitions(self) -> int:
@@ -136,6 +142,24 @@ class BatchProtocolResult:
         """Return the per-replica fraction of sent messages lost in transit."""
         sent = np.maximum(self.messages_sent, 1)
         return self.messages_dropped / sent
+
+    def control_messages(self) -> np.ndarray:
+        """Return ``(R,)`` control-message counts (zeros for all-payload protocols)."""
+        if self.control_messages_sent is None:
+            return np.zeros_like(self.messages_sent)
+        return self.control_messages_sent
+
+    def payload_messages_sent(self) -> np.ndarray:
+        """Return ``(R,)`` payload-carrying message counts (total minus control)."""
+        return self.messages_sent - self.control_messages()
+
+    def payload_messages_per_member(self) -> np.ndarray:
+        """Return the per-replica payload-only message cost normalised by group size."""
+        return self.payload_messages_sent() / self.n
+
+    def control_messages_per_member(self) -> np.ndarray:
+        """Return the per-replica control-message cost normalised by group size."""
+        return self.control_messages() / self.n
 
     def survivors(self) -> np.ndarray:
         """Return ``(R, n)`` masks of nonfailed members still present at the end.
@@ -182,6 +206,7 @@ class BatchProtocolResult:
             messages_sent=int(self.messages_sent[replica]),
             rounds=int(self.rounds[replica]),
             messages_dropped=int(self.messages_dropped[replica]),
+            control_messages_sent=int(self.control_messages()[replica]),
         )
 
 
@@ -311,7 +336,11 @@ def simulate_protocol_batch(
     if schedule is not None:
         kwargs["churn"] = schedule
     out = protocol._disseminate_batch(n, alive, source, rng, **kwargs)
-    if len(out) == 4:
+    control = None
+    if len(out) == 5:  # trailing per-replica control-message counts
+        delivered, messages, dropped, rounds, control = out
+        control = np.asarray(control, dtype=np.int64)
+    elif len(out) == 4:
         delivered, messages, dropped, rounds = out
     else:  # (delivered, messages, rounds) from a loss-free legacy hook
         delivered, messages, rounds = out
@@ -332,4 +361,5 @@ def simulate_protocol_batch(
         rounds=rounds,
         failure=failure,
         present=present,
+        control_messages_sent=control,
     )

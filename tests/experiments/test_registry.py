@@ -21,6 +21,7 @@ class TestRegistry:
             "fig7",
             "loss_resilience",
             "protocol_comparison",
+            "recovery_resilience",
             "sec4_percolation_validation",
         ]
 

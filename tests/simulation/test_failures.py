@@ -219,3 +219,32 @@ class TestTargetedCrashModel:
     def test_empty_failure_set(self, rng):
         pattern = TargetedCrashModel(failed=()).draw(5, rng)
         assert pattern.n_alive() == 5
+
+
+class TestTargetedBatchSweep:
+    """Batched targeted draws must equal stacked scalar draws exactly.
+
+    ``TargetedCrashModel`` is deterministic (no randomness in either path),
+    so the batch rows and the scalar pattern must agree bit-for-bit across a
+    sweep of engineered failed-block sizes — the contract the
+    ``recovery_resilience`` targeted-crash rows rely on.
+    """
+
+    @pytest.mark.parametrize("n", [40, 200])
+    @pytest.mark.parametrize("fraction", [0.0, 0.1, 0.3, 0.5])
+    def test_batch_rows_match_scalar_draw(self, rng, n, fraction):
+        k = int(round(fraction * n))
+        model = TargetedCrashModel(failed=tuple(range(1, 1 + k)))
+        scalar = model.draw(n, rng, source=0)
+        batch = model.draw_batch(n, 7, rng, source=0)
+        assert scalar.n_alive() == n - k
+        for replica in range(7):
+            np.testing.assert_array_equal(batch.alive[replica], scalar.alive)
+        assert np.all(batch.alive[:, 0])
+        assert not np.any(batch.after_receive)
+
+    def test_batch_consumes_no_randomness(self, rng):
+        model = TargetedCrashModel(failed=(1, 2, 3))
+        state_before = rng.bit_generator.state
+        model.draw_batch(50, 5, rng, source=0)
+        assert rng.bit_generator.state == state_before

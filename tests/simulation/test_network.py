@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.simulation.network import (
+    GilbertElliottNetworkModel,
     NetworkModel,
     latency_constant,
     latency_exponential,
@@ -181,3 +182,106 @@ class TestDrawLossBatch:
         keep, dropped = net.draw_loss_batch(rng, np.empty(0, dtype=np.int64), 3)
         assert keep.shape == (0,)
         np.testing.assert_array_equal(dropped, np.zeros(3, dtype=np.int64))
+
+
+class TestGilbertElliott:
+    """The two-state bursty channel: collapse, burstiness, calibration."""
+
+    def make(self, **overrides):
+        params = dict(
+            loss_probability=0.05,
+            bad_loss_probability=0.8,
+            p_good_to_bad=0.1,
+            p_bad_to_good=0.3,
+        )
+        params.update(overrides)
+        return GilbertElliottNetworkModel(**params)
+
+    def test_stationary_statistics(self):
+        net = self.make()
+        assert net.stationary_bad_fraction() == pytest.approx(0.25)
+        assert net.mean_loss_probability() == pytest.approx(0.2375)
+        frozen = self.make(p_good_to_bad=0.0, p_bad_to_good=0.0)
+        assert frozen.stationary_bad_fraction() == 0.0
+        assert frozen.mean_loss_probability() == frozen.loss_probability
+
+    def test_equal_rates_collapse_to_iid_bit_for_bit(self):
+        # When both states share one drop rate the state cannot matter, so
+        # every draw must defer to the base class verbatim (same stream).
+        ge = self.make(loss_probability=0.3, bad_loss_probability=0.3)
+        iid = NetworkModel(loss_probability=0.3)
+        rng_a = np.random.default_rng(101)
+        rng_b = np.random.default_rng(101)
+        for count in (7, 50, 0, 200):
+            np.testing.assert_array_equal(
+                ge.draw_loss(rng_a, count), iid.draw_loss(rng_b, count)
+            )
+        replicas = np.repeat(np.arange(4), 30)
+        keep_a, dropped_a = ge.draw_loss_batch(rng_a, replicas, 4)
+        keep_b, dropped_b = iid.draw_loss_batch(rng_b, replicas, 4)
+        np.testing.assert_array_equal(keep_a, keep_b)
+        np.testing.assert_array_equal(dropped_a, dropped_b)
+        assert rng_a.bit_generator.state == rng_b.bit_generator.state
+
+    def test_zero_rates_consume_no_randomness(self, rng):
+        net = self.make(loss_probability=0.0, bad_loss_probability=0.0)
+        state_before = rng.bit_generator.state
+        keep = net.draw_loss(rng, 80)
+        assert keep.all()
+        keep, dropped = net.draw_loss_batch(rng, np.repeat(np.arange(3), 10), 3)
+        assert keep.all() and dropped.sum() == 0
+        assert rng.bit_generator.state == state_before
+        assert net.messages_dropped == 0
+
+    def test_scalar_drops_are_bursty(self, rng):
+        # Sequential single-message draws: one chain step per call, so a
+        # drop signals the bad state and the next draw must be far likelier
+        # to drop than the marginal rate.
+        net = self.make()
+        drops = np.array(
+            [not net.draw_loss(rng, 1)[0] for _ in range(8000)], dtype=bool
+        )
+        marginal = drops.mean()
+        conditional = drops[1:][drops[:-1]].mean()
+        assert marginal == pytest.approx(net.mean_loss_probability(), abs=0.03)
+        assert conditional > marginal + 0.1
+
+    def test_batch_block_fading_and_stationary_start(self, rng):
+        # One draw_loss_batch call is one coherence interval per replica:
+        # each replica's realised drop rate sits near one state's rate, and
+        # the bad fraction across replicas matches the stationary start.
+        net = self.make()
+        replicas = np.repeat(np.arange(400), 500)
+        keep, dropped = net.draw_loss_batch(rng, replicas, 400)
+        rates = dropped / 500.0
+        near_good = np.abs(rates - net.loss_probability) < 0.07
+        near_bad = np.abs(rates - net.bad_loss_probability) < 0.07
+        assert np.all(near_good | near_bad)
+        assert near_bad.mean() == pytest.approx(net.stationary_bad_fraction(), abs=0.06)
+
+    def test_batch_long_run_drop_rate_matches_stationary_mean(self, rng):
+        net = self.make()
+        replicas = np.repeat(np.arange(8), 25)
+        total = 0
+        for _ in range(2000):  # 2000 chain steps per replica
+            _, dropped = net.draw_loss_batch(rng, replicas, 8)
+            total += int(dropped.sum())
+        realised = total / (2000 * replicas.size)
+        assert realised == pytest.approx(net.mean_loss_probability(), abs=0.02)
+
+    def test_reset_clears_chain_state(self):
+        net = self.make()
+        first = [net.draw_loss(np.random.default_rng(77), 20) for _ in range(5)]
+        net.reset()
+        assert net.messages_sent == 0
+        second = [net.draw_loss(np.random.default_rng(77), 20) for _ in range(5)]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            self.make(bad_loss_probability=1.5)
+        with pytest.raises(ValueError):
+            self.make(p_good_to_bad=-0.1)
+        with pytest.raises(ValueError):
+            self.make(p_bad_to_good=2.0)
