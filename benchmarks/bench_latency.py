@@ -1,0 +1,113 @@
+"""Benchmark of the batched latency plane vs the event-driven reference.
+
+The delivery-time percentiles the ``latency_profile`` experiment reports
+could also be produced by the continuous-time event-driven simulator
+(:func:`repro.simulation.gossip.simulate_gossip_event_driven`) — one heap
+event per message, exact timestamps, no discretisation.  The latency plane
+exists because the batched engines produce a statistically matching
+delivery-time law (KS-pinned in ``tests/simulation/test_latency.py``) at a
+fraction of the cost: the heap loop is per-event python, the plane is a few
+vectorised bucket operations per round.
+
+This head-to-head races both at the same workload (exponential per-message
+latency, q=1) and lands the **speedup ratio** in a ``BENCH_latency.json``
+perf record (path overridable via ``REPRO_BENCH_RECORD_LATENCY``) for the
+CI regression gate.  At full scale (n=5000, 20 replicas) the plane must be
+>= 10x faster (1.5x on scaled smoke runs, where fixed per-call overheads
+dominate).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from _bench_utils import bench_scale, print_banner, scaled
+
+from repro.core.distributions import FixedFanout
+from repro.simulation.gossip import simulate_gossip_batch, simulate_gossip_event_driven
+from repro.simulation.network import NetworkModel, latency_exponential
+
+_RECORD: dict = {"benchmark": "latency_plane"}
+
+
+def _write_record() -> str:
+    record_path = os.environ.get("REPRO_BENCH_RECORD_LATENCY", "BENCH_latency.json")
+    with open(record_path, "w") as fh:
+        json.dump(_RECORD, fh, indent=2)
+        fh.write("\n")
+    return record_path
+
+
+def test_latency_plane_vs_event_driven():
+    """Event-driven delivery times vs the batched plane at equal workload."""
+    scale = bench_scale()
+    n = scaled(5000, 400, scale)
+    repetitions = scaled(20, 6, scale)
+    distribution = FixedFanout(4)
+    mean_latency = 1.0
+
+    print_banner(
+        f"latency plane head-to-head — n={n}, {repetitions} replicas, "
+        f"exponential({mean_latency}) per-message latency"
+    )
+
+    def run_event_driven() -> float:
+        rng = np.random.default_rng(123)
+        start = time.perf_counter()
+        for _ in range(repetitions):
+            simulate_gossip_event_driven(
+                n,
+                distribution,
+                1.0,
+                seed=rng,
+                network=NetworkModel(latency=latency_exponential(mean_latency)),
+            )
+        return time.perf_counter() - start
+
+    def run_batch() -> float:
+        network = NetworkModel(latency=latency_exponential(mean_latency))
+        start = time.perf_counter()
+        simulate_gossip_batch(
+            n,
+            distribution,
+            1.0,
+            repetitions=repetitions,
+            seed=123,
+            network=network,
+        )
+        return time.perf_counter() - start
+
+    # The event-driven heap loop is the expensive side: one timing suffices;
+    # the batched plane takes best-of-3 so a hiccup cannot decide the race.
+    event_seconds = run_event_driven()
+    batch_seconds = min(run_batch() for _ in range(3))
+    speedup = event_seconds / batch_seconds
+    print(
+        f"{'latency-plane':14s} event-driven {event_seconds * 1000:8.1f}ms   "
+        f"batched {batch_seconds * 1000:8.1f}ms   {speedup:8.1f}x"
+    )
+
+    _RECORD.update(
+        n=n,
+        repetitions=repetitions,
+        q=1.0,
+        latency=f"exponential({mean_latency:g})",
+        scale=scale,
+    )
+    _RECORD["latency-plane"] = {
+        "event_seconds": event_seconds,
+        "batch_seconds": batch_seconds,
+        "speedup": speedup,
+    }
+    record_path = _write_record()
+    print(f"perf record written to {record_path}")
+
+    floor = 10.0 if scale >= 0.99 else 1.5
+    assert speedup >= floor, (
+        f"latency plane only {speedup:.1f}x faster than the event-driven "
+        f"reference (floor {floor}x at scale {scale})"
+    )

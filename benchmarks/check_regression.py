@@ -3,7 +3,7 @@
 The smoke benchmarks (``bench_microbenchmarks.py``, ``bench_graph_ensemble.py``,
 ``bench_protocol_batch.py``, ``bench_loss_resilience.py``,
 ``bench_dimensioning.py``, ``bench_churn_resilience.py``,
-``bench_recovery.py``) each emit a
+``bench_recovery.py``, ``bench_latency.py``) each emit a
 ``BENCH_*.json`` perf record whose
 head-to-head **speedup ratios** (batched engine time / scalar reference
 time, inverted — or, for the dimensioning solver, dense-grid replicas /
@@ -45,6 +45,7 @@ DEFAULT_RECORDS = (
     "BENCH_dimensioning.json",
     "BENCH_churn.json",
     "BENCH_recovery.json",
+    "BENCH_latency.json",
 )
 
 __all__ = ["collect_speedups", "compare_records", "check_directories", "main"]

@@ -118,7 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "experiment id (fig2 .. fig7, sec4_percolation_validation, "
             "protocol_comparison, loss_resilience, dimensioning, "
-            "churn_resilience, recovery_resilience)"
+            "churn_resilience, recovery_resilience, latency_profile)"
         ),
     )
     experiment.add_argument(
@@ -137,7 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "experiment id (fig2 .. fig7, sec4_percolation_validation, "
             "protocol_comparison, loss_resilience, dimensioning, "
-            "churn_resilience, recovery_resilience)"
+            "churn_resilience, recovery_resilience, latency_profile)"
         ),
     )
     run.add_argument(

@@ -30,6 +30,12 @@ from repro.experiments.fig4_reliability_1000 import Fig4Config, Fig4Result, run_
 from repro.experiments.fig5_reliability_5000 import Fig5Config, Fig5Result, run_fig5
 from repro.experiments.fig6_success_f4_q09 import Fig6Config, Fig6Result, run_fig6
 from repro.experiments.fig7_success_f6_q06 import Fig7Config, Fig7Result, run_fig7
+from repro.experiments.latency_profile import (
+    LatencyPoint,
+    LatencyProfileConfig,
+    LatencyProfileResult,
+    run_latency_profile,
+)
 from repro.experiments.loss_resilience import (
     LossPoint,
     LossResilienceConfig,
@@ -67,6 +73,10 @@ __all__ = [
     "Sec4Config",
     "Sec4Result",
     "run_sec4",
+    "LatencyPoint",
+    "LatencyProfileConfig",
+    "LatencyProfileResult",
+    "run_latency_profile",
     "LossPoint",
     "LossResilienceConfig",
     "LossResilienceResult",

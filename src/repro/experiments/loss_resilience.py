@@ -268,17 +268,17 @@ class LossResilienceResult:
 def _run_cell_batch(args) -> tuple:
     """Process-pool worker: one chunk of replicas through the lossy batched engine.
 
-    The :class:`NetworkModel` is built inside the worker from the plain float
-    so nothing unpicklable (latency closures) crosses the process boundary.
+    The :class:`NetworkModel` crosses the process boundary directly — the
+    latency samplers are frozen dataclasses, so the model pickles whole.
     """
-    protocol, n, q, loss, seed, repetitions = args
+    protocol, n, q, network, seed, repetitions = args
     result = simulate_protocol_batch(
         protocol,
         n,
         q,
         repetitions=repetitions,
         seed=seed,
-        network=NetworkModel(loss_probability=loss),
+        network=network,
     )
     return (
         result.reliability().tolist(),
@@ -291,9 +291,8 @@ def _run_cell_batch(args) -> tuple:
 
 def _run_cell_scalar(args) -> tuple:
     """Process-pool worker: one chunk of replicas through the scalar reference."""
-    protocol, n, q, loss, seed, repetitions = args
+    protocol, n, q, network, seed, repetitions = args
     rng = as_generator(seed)
-    network = NetworkModel(loss_probability=loss)
     reliability, messages, sent, dropped, atomic = [], [], [], [], []
     for _ in range(repetitions):
         result = protocol.run(n, q, seed=rng, network=network)
@@ -322,7 +321,7 @@ def run_loss_resilience(config: LossResilienceConfig | None = None) -> LossResil
             for loss in config.loss_probabilities:
                 seeds = spawn_seeds(n_chunks, next(cell_seeds))
                 work = [
-                    (protocol, config.n, q, loss, seed, size)
+                    (protocol, config.n, q, NetworkModel(loss_probability=loss), seed, size)
                     for seed, size in zip(seeds, chunk_sizes)
                     if size > 0
                 ]

@@ -18,6 +18,7 @@ from repro.experiments import (
     fig5_reliability_5000,
     fig6_success_f4_q09,
     fig7_success_f6_q06,
+    latency_profile,
     loss_resilience,
     protocol_comparison,
     recovery_resilience,
@@ -128,6 +129,13 @@ _REGISTRY: dict[str, ExperimentSpec] = {
         paper_reference=churn_resilience.PAPER_REFERENCE,
         config_factory=churn_resilience.ChurnResilienceConfig,
         runner=churn_resilience.run_churn_resilience,
+        analytical_only=False,
+    ),
+    "latency_profile": ExperimentSpec(
+        experiment_id="latency_profile",
+        paper_reference=latency_profile.PAPER_REFERENCE,
+        config_factory=latency_profile.LatencyProfileConfig,
+        runner=latency_profile.run_latency_profile,
         analytical_only=False,
     ),
     "recovery_resilience": ExperimentSpec(

@@ -79,7 +79,7 @@ class AntiEntropyProtocol(Protocol):
                 has_message[np.array(newly, dtype=np.int64)] = True
         return has_message, messages, rounds_executed, control
 
-    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None):
+    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None, latency=None):
         repetitions = int(alive.shape[0])
         has_message = np.zeros((repetitions, n), dtype=bool)
         has_message[:, source] = True
@@ -94,6 +94,8 @@ class AntiEntropyProtocol(Protocol):
         active = np.ones(repetitions, dtype=bool)
         round_index = 0
         for _ in range(self.rounds):
+            if latency is not None:
+                active = active | latency.pending_mask()
             active &= np.any(alive & ~has_message, axis=1)
             if not active.any():
                 break
@@ -107,38 +109,59 @@ class AntiEntropyProtocol(Protocol):
             if present is not None:
                 participants &= present
             rep_idx, mem_idx = np.nonzero(participants)
-            if rep_idx.size == 0:
+            if rep_idx.size == 0 and latency is None:
                 continue
             snapshot_flat = has_flat.copy()
-            cells, target_replica = sample_group_targets_batch(
-                n, rep_idx, mem_idx, fanout, rng
-            )
-            sender_cells = np.repeat(rep_idx * n + mem_idx, fanout)
-            digest_counts = np.bincount(target_replica, minlength=repetitions)
-            messages += digest_counts  # digests
-            control += digest_counts
-            if network is not None:
-                keep, dropped_leg = network.draw_loss_batch(rng, target_replica, repetitions)
-                dropped += dropped_leg
-                cells = cells[keep]
-                sender_cells = sender_cells[keep]
-                target_replica = target_replica[keep]
+            if rep_idx.size:
+                cells, target_replica = sample_group_targets_batch(
+                    n, rep_idx, mem_idx, fanout, rng
+                )
+                sender_cells = np.repeat(rep_idx * n + mem_idx, fanout)
+                digest_counts = np.bincount(target_replica, minlength=repetitions)
+                messages += digest_counts  # digests
+                control += digest_counts
+                if network is not None:
+                    keep, dropped_leg = network.draw_loss_batch(
+                        rng, target_replica, repetitions
+                    )
+                    dropped += dropped_leg
+                    cells = cells[keep]
+                    sender_cells = sender_cells[keep]
+                    target_replica = target_replica[keep]
+            else:
+                cells = np.empty(0, dtype=np.int64)
+                sender_cells = np.empty(0, dtype=np.int64)
+            digest_times = None
+            if latency is not None:
+                # Digests ride the latency plane, each carrying its sender;
+                # a slow digest reconciles the pair's states in the round it
+                # lands (anti-entropy compares states at exchange time).
+                cells, digest_times, sender_cells = latency.schedule(
+                    round_index - 1, cells, rng, channel="digest", aux=sender_cells
+                )
+                target_replica = cells // n
             if present_flat is not None:
                 # Digests to absent peers are wasted sends, not drops.
                 in_group = present_flat[cells]
                 cells = cells[in_group]
                 sender_cells = sender_cells[in_group]
                 target_replica = target_replica[in_group]
+                if digest_times is not None:
+                    digest_times = digest_times[in_group]
             reconciling = alive_flat[cells]
             cells = cells[reconciling]
             sender_cells = sender_cells[reconciling]
             target_replica = target_replica[reconciling]
+            if digest_times is not None:
+                digest_times = digest_times[reconciling]
             # Transfer whenever exactly one side held the payload at round
             # start: push to the peer, or pull back to the initiator.
             transfer = snapshot_flat[sender_cells] != snapshot_flat[cells]
             cells = cells[transfer]
             sender_cells = sender_cells[transfer]
             target_replica = target_replica[transfer]
+            if digest_times is not None:
+                digest_times = digest_times[transfer]
             if cells.size == 0:
                 continue
             recipients = np.where(snapshot_flat[sender_cells], cells, sender_cells)
@@ -147,5 +170,13 @@ class AntiEntropyProtocol(Protocol):
                 keep, dropped_leg = network.draw_loss_batch(rng, target_replica, repetitions)
                 dropped += dropped_leg
                 recipients = recipients[keep]
+                if digest_times is not None:
+                    digest_times = digest_times[keep]
+            if latency is not None:
+                # The payload lands one transfer leg after the digest's
+                # arrival instant (push and pull transfers alike).
+                times = digest_times + latency.draw(rng, recipients.size)
+                fresh_mask = ~has_flat[recipients]
+                latency.record(recipients[fresh_mask], times[fresh_mask])
             has_flat[np.unique(recipients)] = True
         return has_message, messages, dropped, rounds, control

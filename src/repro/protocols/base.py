@@ -182,6 +182,7 @@ class Protocol(ABC):
         failure_model: FailureModel | None = None,
         network: NetworkModel | None = None,
         churn=None,
+        round_period: float = 1.0,
     ):
         """Run ``repetitions`` independent executions as one ``(R, n)`` array program.
 
@@ -190,7 +191,9 @@ class Protocol(ABC):
         returns a :class:`~repro.simulation.protocol_batch.BatchProtocolResult`.
         ``churn`` optionally supplies the dynamic-membership plane (a
         :class:`~repro.simulation.churn.ChurnModel` or a pre-drawn
-        :class:`~repro.simulation.churn.ChurnScheduleBatch`).
+        :class:`~repro.simulation.churn.ChurnScheduleBatch`); ``round_period``
+        sets the round duration of the delivery-time plane enabled by a
+        ``network`` with a latency-capable batched hook.
         """
         from repro.simulation.protocol_batch import simulate_protocol_batch
 
@@ -204,6 +207,7 @@ class Protocol(ABC):
             failure_model=failure_model,
             network=network,
             churn=churn,
+            round_period=round_period,
         )
 
     @abstractmethod
@@ -243,10 +247,15 @@ class Protocol(ABC):
         that split control traffic from payload.  ``churn`` (a
         :class:`~repro.simulation.churn.ChurnScheduleBatch`) is threaded
         through only for churn-aware runs, mirroring the ``network``
-        contract, so legacy signatures keep working.  The base
-        implementation replays the scalar :meth:`_disseminate` once per
-        replica — correct for any static-membership protocol; every bundled
-        protocol overrides it with a vectorised, churn-capable array program.
+        contract, so legacy signatures keep working.  Hooks that accept a
+        ``latency`` keyword additionally receive the batch's
+        :class:`~repro.simulation.latency.DeliveryTimePlane` when a network
+        is present; this base signature deliberately omits it — the scalar
+        replay below tracks no time, so results built on it honestly report
+        ``delivery_times=None``.  The base implementation replays the scalar
+        :meth:`_disseminate` once per replica — correct for any
+        static-membership protocol; every bundled protocol overrides it with
+        a vectorised, churn- and latency-capable array program.
         """
         if churn is not None:
             raise NotImplementedError(

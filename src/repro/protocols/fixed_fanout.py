@@ -57,7 +57,7 @@ class FixedFanoutGossip(Protocol):
             frontier = newly_alive
         return delivered, messages, rounds
 
-    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None):
+    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None, latency=None):
         # The constant-fanout push process IS the paper's algorithm with a
         # degenerate distribution, so the batched gossip engine does all the
         # work; failures arrive through the pre-drawn alive masks, message
@@ -73,5 +73,6 @@ class FixedFanoutGossip(Protocol):
             alive=alive,
             network=network,
             churn=churn,
+            latency=latency,
         )
         return result.delivered, result.messages_sent, result.messages_dropped, result.rounds

@@ -73,7 +73,7 @@ class FloodingProtocol(Protocol):
             frontier = next_frontier
         return delivered, messages, rounds
 
-    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None):
+    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None, latency=None):
         repetitions = int(alive.shape[0])
         cells = repetitions * n
         degree = min(self.degree, n - 1)
@@ -113,44 +113,60 @@ class FloodingProtocol(Protocol):
         frontier = np.arange(repetitions, dtype=np.int64) * n + source
         delivered[frontier] = True
         round_index = 0
-        while frontier.size:
+        while frontier.size or (latency is not None and latency.has_pending()):
             round_index += 1
             present_flat = None
             if churn is not None:
                 # Members that left the group stop flooding their links.
                 present_flat = churn.present_at(round_index).ravel()
                 frontier = frontier[present_flat[frontier]]
-                if not frontier.size:
+                if not frontier.size and (latency is None or not latency.has_pending()):
                     break
-            frontier_replica = frontier // n
-            rounds += np.bincount(frontier_replica, minlength=repetitions) > 0
-            fanout = neighbour_counts[frontier].astype(np.int64, copy=False)
-            messages += np.bincount(
-                frontier_replica, weights=fanout, minlength=repetitions
-            ).astype(np.int64)
-            total = int(fanout.sum())
-            if total == 0:
-                break
-            # Gather every frontier member's neighbour slice in one pass.
-            positions = (
-                np.arange(total, dtype=np.int64)
-                - np.repeat(np.cumsum(fanout) - fanout, fanout)
-                + np.repeat(indptr[frontier], fanout)
-            )
-            targets = arc_dst[positions]
-            if network is not None:
-                # Thin the wave: each link transmission is dropped
-                # independently; a dropped arc is never retried (flooding
-                # forwards on every link exactly once).
-                keep, dropped_round = network.draw_loss_batch(
-                    rng, targets.astype(np.int64, copy=False) // n, repetitions
-                )
-                dropped += dropped_round
-                targets = targets[keep]
-            if present_flat is not None:
-                # Links into currently-absent peers waste the send: counted
-                # as sent above, but never booked as network drops.
-                targets = targets[present_flat[targets]]
+            active = np.bincount(frontier // n, minlength=repetitions) > 0
+            if latency is not None:
+                # Waves still in flight keep their replica's clock running.
+                active |= latency.pending_mask()
+            rounds += active
+            targets = np.zeros(0, dtype=np.int64)
+            if frontier.size:
+                frontier_replica = frontier // n
+                fanout = neighbour_counts[frontier].astype(np.int64, copy=False)
+                messages += np.bincount(
+                    frontier_replica, weights=fanout, minlength=repetitions
+                ).astype(np.int64)
+                total = int(fanout.sum())
+                if total:
+                    # Gather every frontier member's neighbour slice in one pass.
+                    positions = (
+                        np.arange(total, dtype=np.int64)
+                        - np.repeat(np.cumsum(fanout) - fanout, fanout)
+                        + np.repeat(indptr[frontier], fanout)
+                    )
+                    targets = arc_dst[positions].astype(np.int64, copy=False)
+                    if network is not None:
+                        # Thin the wave: each link transmission is dropped
+                        # independently; a dropped arc is never retried
+                        # (flooding forwards on every link exactly once).
+                        keep, dropped_round = network.draw_loss_batch(
+                            rng, targets // n, repetitions
+                        )
+                        dropped += dropped_round
+                        targets = targets[keep]
+                    if present_flat is not None:
+                        # Links into currently-absent peers waste the send:
+                        # counted as sent above, but never booked as drops.
+                        targets = targets[present_flat[targets]]
+            if latency is not None:
+                # Per-link latency draws; slow links re-emerge as matured
+                # arrivals in a later round (re-checked against that round's
+                # churn view).
+                targets, times, _ = latency.schedule(round_index - 1, targets, rng)
+                if present_flat is not None and targets.size:
+                    keep = present_flat[targets]
+                    targets = targets[keep]
+                    times = times[keep]
+                fresh_mask = ~delivered[targets]
+                latency.record(targets[fresh_mask], times[fresh_mask])
             fresh = np.unique(targets)
             fresh = fresh[~delivered[fresh]]
             delivered[fresh] = True

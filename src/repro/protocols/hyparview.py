@@ -123,7 +123,7 @@ class HyParViewProtocol(Protocol):
                     messages += 1
         return has_message, messages, rounds_executed
 
-    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None):
+    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None, latency=None):
         repetitions = int(alive.shape[0])
         active_size = min(self.active_size, n - 1)
         passive_size = min(self.passive_size, n - 1)
@@ -157,6 +157,9 @@ class HyParViewProtocol(Protocol):
         stale_slot_rounds = 0
         active = np.ones(repetitions, dtype=bool)
         for round_index in range(1, self.rounds + 1):
+            if latency is not None:
+                # Pushes still in flight keep their replica's clock running.
+                active = active | latency.pending_mask()
             if not active.any():
                 break
             present = present_flat = None
@@ -177,6 +180,7 @@ class HyParViewProtocol(Protocol):
                 holders &= present
             active &= holders.any(axis=1)
             rep_idx, mem_idx = np.nonzero(holders & active[:, None])
+            landed = np.empty(0, dtype=np.int64)
             if rep_idx.size:
                 slot_idx, _ = sample_distinct_rows(
                     rng, active_size, np.full(rep_idx.size, fanout, dtype=np.int64)
@@ -212,8 +216,25 @@ class HyParViewProtocol(Protocol):
                     dropped += dropped_round
                     arrived &= keep
                 landed = cells[arrived]
+            if latency is not None:
+                # Per-push latency draws; slow pushes land in the round they
+                # mature (re-checked against that round's churn view).  Link
+                # repair and shuffling are the membership service's local
+                # bookkeeping and stay untimed.
+                landed, push_times, _ = latency.schedule(round_index - 1, landed, rng)
+                if present_flat is not None and landed.size:
+                    keep = present_flat[landed]
+                    landed = landed[keep]
+                    push_times = push_times[keep]
+                fresh_mask = alive_flat[landed] & ~has_flat[landed]
+                latency.record(landed[fresh_mask], push_times[fresh_mask])
+            if landed.size:
                 fresh = np.unique(landed[alive_flat[landed] & ~has_flat[landed]])
                 has_flat[fresh] = True
+                if latency is not None:
+                    # A matured push can hand the message to a replica whose
+                    # holders had all departed; the new holder re-activates it.
+                    active = active | (np.bincount(fresh // n, minlength=repetitions) > 0)
             # Periodic shuffle: every in-group nonfailed member swaps one
             # random active slot with one random passive entry, at one
             # control message each.
@@ -228,6 +249,12 @@ class HyParViewProtocol(Protocol):
                     passive_view[rep_s, mem_s, pick] = swapped_out
                     messages += np.bincount(rep_s, minlength=repetitions)
 
+        if latency is not None:
+            # Pushes still in flight at the horizon arrive anyway.
+            cells, times, _ = latency.drain()
+            fresh_mask = alive_flat[cells] & ~has_flat[cells]
+            latency.record(cells[fresh_mask], times[fresh_mask])
+            has_flat[cells[fresh_mask]] = True
         self.last_batch_stats = {
             "view_staleness": float(np.mean(staleness)) if staleness else 0.0,
             "repairs": int(repairs),

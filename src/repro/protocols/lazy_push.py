@@ -138,7 +138,7 @@ class LazyPushProtocol(Protocol):
                     advertiser[target] = senders[int(rng.integers(len(senders)))]
         return has_message, messages, rounds_executed, control
 
-    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None):
+    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None, latency=None):
         repetitions = int(alive.shape[0])
         has_message = np.zeros((repetitions, n), dtype=bool)
         has_message[:, source] = True
@@ -209,6 +209,16 @@ class LazyPushProtocol(Protocol):
                     got_cells = resp_rep[keep2] * n + resp_mem[keep2]
                     has_flat[got_cells] = True
                     recoveries += int(got_cells.size)
+                    if latency is not None:
+                        # IWANT + payload answer is an intra-round round
+                        # trip: the payload lands a request leg plus a
+                        # response leg after the round's send instant.
+                        latency.record(
+                            got_cells,
+                            latency.send_time(round_index - 1)
+                            + latency.draw(rng, got_cells.size)
+                            + latency.draw(rng, got_cells.size),
+                        )
             # ----------------------------------------- dissemination leg
             fractions = has_message.sum(axis=1) / n
             eager = active & (fractions < self.eager_threshold)
@@ -216,6 +226,7 @@ class LazyPushProtocol(Protocol):
             if present is not None:
                 holders &= present
             rep_e, mem_e = np.nonzero(holders & eager[:, None])
+            cells = np.empty(0, dtype=np.int64)
             if rep_e.size:
                 cells, target_replica = sample_group_targets_batch(
                     n, rep_e, mem_e, eager_fanout, rng
@@ -229,9 +240,22 @@ class LazyPushProtocol(Protocol):
                     cells = cells[keep]
                 if present_flat is not None:
                     cells = cells[present_flat[cells]]
+            if latency is not None:
+                # Per-push latency draws; slow pushes land in the round
+                # they mature (re-checked against that round's churn view).
+                cells, push_times, _ = latency.schedule(round_index - 1, cells, rng)
+                if present_flat is not None and cells.size:
+                    keep = present_flat[cells]
+                    cells = cells[keep]
+                    push_times = push_times[keep]
+                fresh_mask = alive_flat[cells] & ~has_flat[cells]
+                latency.record(cells[fresh_mask], push_times[fresh_mask])
+            if cells.size:
                 fresh = np.unique(cells[alive_flat[cells] & ~has_flat[cells]])
                 has_flat[fresh] = True
             rep_l, mem_l = np.nonzero(holders & ~eager[:, None])
+            cells = np.empty(0, dtype=np.int64)
+            senders = np.empty(0, dtype=np.int64)
             if rep_l.size:
                 cells, target_replica = sample_group_targets_batch(
                     n, rep_l, mem_l, ihave_fanout, rng
@@ -247,6 +271,14 @@ class LazyPushProtocol(Protocol):
                     dropped += dropped_leg
                     cells = cells[keep]
                     senders = senders[keep]
+            if latency is not None:
+                # IHAVE digests ride the latency plane, each carrying its
+                # advertising sender; a slow digest arms its target in the
+                # round it lands (so the IWANT fires the round after that).
+                cells, _, senders = latency.schedule(
+                    round_index - 1, cells, rng, channel="digest", aux=senders
+                )
+            if cells.size or latency is not None:
                 if present_flat is not None:
                     # Digests to absent members are wasted sends, not drops.
                     in_group = present_flat[cells]
@@ -266,6 +298,14 @@ class LazyPushProtocol(Protocol):
                     first = np.ones(cells_sorted.size, dtype=bool)
                     first[1:] = cells_sorted[1:] != cells_sorted[:-1]
                     adv_flat[cells_sorted[first]] = senders_sorted[first]
+        if latency is not None:
+            # Eager pushes still in flight at the horizon arrive anyway;
+            # in-flight IHAVE digests die with the protocol (the IWANT they
+            # would provoke is never sent).
+            cells, times, _ = latency.drain()
+            fresh_mask = alive_flat[cells] & ~has_flat[cells]
+            latency.record(cells[fresh_mask], times[fresh_mask])
+            has_flat[cells[fresh_mask]] = True
         self.last_batch_stats = {
             "iwants_sent": int(iwants_sent),
             "recoveries": int(recoveries),

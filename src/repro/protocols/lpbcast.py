@@ -68,7 +68,7 @@ class LpbcastProtocol(Protocol):
                 has_message[np.array(newly, dtype=np.int64)] = True
         return has_message, messages, rounds_executed
 
-    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None):
+    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None, latency=None):
         repetitions = int(alive.shape[0])
         size = min(self.view_size, n - 1)
         # Every replica gets its own fresh partial-view assignment, drawn for
@@ -96,6 +96,8 @@ class LpbcastProtocol(Protocol):
         active = np.ones(repetitions, dtype=bool)
         round_index = 0
         for _ in range(self.rounds):
+            if latency is not None:
+                active = active | latency.pending_mask()
             if not active.any():
                 break
             round_index += 1
@@ -111,25 +113,50 @@ class LpbcastProtocol(Protocol):
                 holders &= present
             active &= holders.any(axis=1)
             rep_idx, mem_idx = np.nonzero(holders & active[:, None])
-            if rep_idx.size == 0:
+            if rep_idx.size == 0 and latency is None:
                 continue
-            # Batched view sampling: per holder, `fanout` distinct slots of
-            # its own view row, gathered in one fancy-indexed pass.
-            slot_idx, _ = sample_distinct_rows(
-                rng, size, np.full(rep_idx.size, fanout, dtype=np.int64)
-            )
-            targets = np.take_along_axis(
-                views[rep_idx, mem_idx], slot_idx.astype(np.int64, copy=False), axis=1
-            ).ravel()
-            target_replica = np.repeat(rep_idx, fanout)
-            messages += np.bincount(target_replica, minlength=repetitions)
-            cells = target_replica * n + targets.astype(np.int64, copy=False)
-            if network is not None:
-                keep, dropped_round = network.draw_loss_batch(rng, target_replica, repetitions)
-                dropped += dropped_round
-                cells = cells[keep]
-            if present_flat is not None:
-                cells = cells[present_flat[cells]]
+            cells = np.empty(0, dtype=np.int64)
+            if rep_idx.size:
+                # Batched view sampling: per holder, `fanout` distinct slots
+                # of its own view row, gathered in one fancy-indexed pass.
+                slot_idx, _ = sample_distinct_rows(
+                    rng, size, np.full(rep_idx.size, fanout, dtype=np.int64)
+                )
+                targets = np.take_along_axis(
+                    views[rep_idx, mem_idx], slot_idx.astype(np.int64, copy=False), axis=1
+                ).ravel()
+                target_replica = np.repeat(rep_idx, fanout)
+                messages += np.bincount(target_replica, minlength=repetitions)
+                cells = target_replica * n + targets.astype(np.int64, copy=False)
+                if network is not None:
+                    keep, dropped_round = network.draw_loss_batch(
+                        rng, target_replica, repetitions
+                    )
+                    dropped += dropped_round
+                    cells = cells[keep]
+                if present_flat is not None:
+                    cells = cells[present_flat[cells]]
+            if latency is not None:
+                # Per-push latency draws; slow pushes land (and are booked)
+                # in the round they mature, re-checked against that round's
+                # churn view.
+                cells, times, _ = latency.schedule(round_index - 1, cells, rng)
+                if present_flat is not None and cells.size:
+                    keep = present_flat[cells]
+                    cells = cells[keep]
+                    times = times[keep]
+                fresh_mask = alive_flat[cells] & ~has_flat[cells]
+                latency.record(cells[fresh_mask], times[fresh_mask])
             fresh = np.unique(cells[alive_flat[cells] & ~has_flat[cells]])
             has_flat[fresh] = True
+            if latency is not None:
+                # A matured push can hand the message to a replica whose
+                # holders had all departed; the new holder re-activates it.
+                active = active | (np.bincount(fresh // n, minlength=repetitions) > 0)
+        if latency is not None:
+            # Pushes still in flight at the horizon arrive anyway.
+            cells, times, _ = latency.drain()
+            fresh_mask = alive_flat[cells] & ~has_flat[cells]
+            latency.record(cells[fresh_mask], times[fresh_mask])
+            has_flat[cells[fresh_mask]] = True
         return has_message, messages, dropped, rounds

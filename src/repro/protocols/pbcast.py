@@ -87,7 +87,7 @@ class PbcastProtocol(Protocol):
             has_message[np.array(newly, dtype=np.int64)] = True
         return has_message, messages, rounds_executed, control
 
-    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None):
+    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None, latency=None):
         repetitions = int(alive.shape[0])
         has_message = np.zeros((repetitions, n), dtype=bool)
         has_message[:, source] = True
@@ -116,16 +116,32 @@ class PbcastProtocol(Protocol):
             # Members not yet (or no longer) in the group at broadcast time
             # cannot buffer the message.
             reached &= churn.present_at(0)
-        has_message |= reached & alive
         has_flat = has_message.ravel()
         alive_flat = alive.ravel()
+        if latency is None:
+            has_message |= reached & alive
+        else:
+            # The broadcast departs at time 0; each surviving leg draws its
+            # own latency, so slow legs buffer during (not before) the
+            # anti-entropy phase.
+            arrived = reached.copy()
+            arrived[:, source] = False
+            due, due_times, _ = latency.schedule(
+                0, np.flatnonzero(arrived.ravel()), rng, channel="payload"
+            )
+            fresh = alive_flat[due] & ~has_flat[due]
+            latency.record(due[fresh], due_times[fresh])
+            has_flat[due[fresh]] = True
 
         # Phase 2: anti-entropy rounds advance all replicas in lock-step;
         # a replica leaves the batch once a round produces no recovery
-        # (converged), exactly the scalar engine's break.
+        # (converged), exactly the scalar engine's break — unless messages
+        # are still in flight for it, which can seed later recoveries.
         active = np.ones(repetitions, dtype=bool)
         round_index = 0
         for _ in range(self.rounds):
+            if latency is not None:
+                active = active | latency.pending_mask()
             if not active.any():
                 break
             round_index += 1
@@ -140,39 +156,79 @@ class PbcastProtocol(Protocol):
                 holders &= present
             active &= holders.any(axis=1)
             rep_idx, mem_idx = np.nonzero(holders & active[:, None])
-            if rep_idx.size == 0:
+            if rep_idx.size == 0 and latency is None:
                 continue
-            cells, target_replica = sample_group_targets_batch(
-                n, rep_idx, mem_idx, self.fanout, rng
-            )
-            digest_counts = np.bincount(target_replica, minlength=repetitions)
-            messages += digest_counts  # digests
-            control += digest_counts  # digests carry no payload
-            if network is not None:
-                keep, dropped_round = network.draw_loss_batch(rng, target_replica, repetitions)
-                dropped += dropped_round
-                cells = cells[keep]
-                target_replica = target_replica[keep]
-            if present_flat is not None:
-                # Digests to absent peers are wasted sends (counted above),
-                # not network drops.
-                keep = present_flat[cells]
-                cells = cells[keep]
-                target_replica = target_replica[keep]
+            if rep_idx.size:
+                cells, target_replica = sample_group_targets_batch(
+                    n, rep_idx, mem_idx, self.fanout, rng
+                )
+                digest_counts = np.bincount(target_replica, minlength=repetitions)
+                messages += digest_counts  # digests
+                control += digest_counts  # digests carry no payload
+                if network is not None:
+                    keep, dropped_round = network.draw_loss_batch(
+                        rng, target_replica, repetitions
+                    )
+                    dropped += dropped_round
+                    cells = cells[keep]
+                    target_replica = target_replica[keep]
+                if present_flat is not None:
+                    # Digests to absent peers are wasted sends (counted
+                    # above), not network drops.
+                    keep = present_flat[cells]
+                    cells = cells[keep]
+                    target_replica = target_replica[keep]
+            else:
+                cells = np.empty(0, dtype=np.int64)
+                target_replica = np.empty(0, dtype=np.int64)
+            digest_times = None
+            if latency is not None:
+                # Digests ride the latency plane too: a slow digest triggers
+                # its pull in the round it lands, not the round it was sent.
+                cells, digest_times, _ = latency.schedule(
+                    round_index - 1, cells, rng, channel="digest"
+                )
+                if present_flat is not None and cells.size:
+                    keep = present_flat[cells]
+                    cells = cells[keep]
+                    digest_times = digest_times[keep]
+                target_replica = cells // n
             # A digest landing on a nonfailed peer that misses the message
             # triggers one pull each (duplicates within the round included,
             # as in the scalar engine); the pull round trip is one lossy
-            # message — only surviving pulls recover the payload.
+            # message — only surviving pulls recover the payload, a pull
+            # latency draw after the digest's arrival instant.
             pulling = alive_flat[cells] & ~has_flat[cells]
             messages += np.bincount(target_replica[pulling], minlength=repetitions)
             pull_cells = cells[pulling]
+            pull_times = digest_times[pulling] if latency is not None else None
             if network is not None:
                 keep, dropped_round = network.draw_loss_batch(
                     rng, target_replica[pulling], repetitions
                 )
                 dropped += dropped_round
                 pull_cells = pull_cells[keep]
+                if latency is not None:
+                    pull_times = pull_times[keep]
+            if latency is not None:
+                latency.record(pull_cells, pull_times + latency.draw(rng, pull_cells.size))
             fresh = np.unique(pull_cells)
-            active &= np.bincount(fresh // n, minlength=repetitions) > 0
+            recovered = np.bincount(fresh // n, minlength=repetitions) > 0
+            if latency is None:
+                active &= recovered
+            else:
+                # A matured digest can recover a member in a replica that had
+                # already converged; the recovery itself is what keeps (or
+                # makes) a replica active.  Without in-flight messages this
+                # reduces to the `active &= recovered` of the plane-off path.
+                active = recovered
             has_flat[fresh] = True
+        if latency is not None:
+            # Broadcast legs still in flight at the horizon arrive anyway —
+            # the round budget bounds gossiping, not physics.  In-flight
+            # digests die with the protocol (nobody answers them).
+            cells, times, _ = latency.drain(channel="payload")
+            fresh = alive_flat[cells] & ~has_flat[cells]
+            latency.record(cells[fresh], times[fresh])
+            has_flat[cells[fresh]] = True
         return has_message, messages, dropped, rounds, control

@@ -43,7 +43,7 @@ class RandomFanoutGossip(Protocol):
         )
         return execution.delivered, execution.messages_sent, execution.rounds
 
-    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None):
+    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None, latency=None):
         result = simulate_gossip_batch(
             n,
             self.distribution,
@@ -54,5 +54,6 @@ class RandomFanoutGossip(Protocol):
             alive=alive,
             network=network,
             churn=churn,
+            latency=latency,
         )
         return result.delivered, result.messages_sent, result.messages_dropped, result.rounds

@@ -84,7 +84,7 @@ class RouteDrivenGossip(Protocol):
                 break
         return has_message, messages, rounds_executed, control
 
-    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None):
+    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None, latency=None):
         repetitions = int(alive.shape[0])
         has_message = np.zeros((repetitions, n), dtype=bool)
         has_message[:, source] = True
@@ -99,6 +99,8 @@ class RouteDrivenGossip(Protocol):
         pull_fanout = min(self.pull_fanout, n - 1)
         round_index = 0
         for _ in range(self.rounds):
+            if latency is not None:
+                active = active | latency.pending_mask()
             if not active.any():
                 break
             round_index += 1
@@ -114,6 +116,7 @@ class RouteDrivenGossip(Protocol):
                 holders &= present
             active &= holders.any(axis=1)
             rep_idx, mem_idx = np.nonzero(holders & active[:, None])
+            cells = np.empty(0, dtype=np.int64)
             if rep_idx.size:
                 cells, target_replica = sample_group_targets_batch(
                     n, rep_idx, mem_idx, self.fanout, rng
@@ -127,8 +130,23 @@ class RouteDrivenGossip(Protocol):
                     cells = cells[keep]
                 if present_flat is not None:
                     cells = cells[present_flat[cells]]
+            if latency is not None or cells.size:
+                if latency is not None:
+                    # Per-push latency draws; slow pushes land in the round
+                    # they mature (re-checked against that round's churn).
+                    cells, push_times, _ = latency.schedule(round_index - 1, cells, rng)
+                    if present_flat is not None and cells.size:
+                        keep = present_flat[cells]
+                        cells = cells[keep]
+                        push_times = push_times[keep]
+                    fresh_mask = alive_flat[cells] & ~has_flat[cells]
+                    latency.record(cells[fresh_mask], push_times[fresh_mask])
                 fresh = np.unique(cells[alive_flat[cells] & ~has_flat[cells]])
                 has_flat[fresh] = True
+                if latency is not None:
+                    # A matured push can revive a replica whose holders had
+                    # all departed.
+                    active = active | (np.bincount(fresh // n, minlength=repetitions) > 0)
             # ---------------------------------------------------------- pull
             if pull_fanout > 0:
                 missing = alive & ~has_message & active[:, None]
@@ -165,6 +183,23 @@ class RouteDrivenGossip(Protocol):
                         dropped += dropped_round
                         recovered = responding.copy()
                         recovered[np.flatnonzero(responding)[~keep]] = False
-                    has_flat[miss_rep[recovered] * n + miss_mem[recovered]] = True
+                    recovered_cells = miss_rep[recovered] * n + miss_mem[recovered]
+                    has_flat[recovered_cells] = True
+                    if latency is not None:
+                        # The pull is an intra-round round trip: the payload
+                        # lands a request leg plus a response leg after the
+                        # round's send instant.
+                        latency.record(
+                            recovered_cells,
+                            latency.send_time(round_index - 1)
+                            + latency.draw(rng, recovered_cells.size)
+                            + latency.draw(rng, recovered_cells.size),
+                        )
             active &= np.any(alive & ~has_message, axis=1)
+        if latency is not None:
+            # Pushes still in flight at the horizon arrive anyway.
+            cells, times, _ = latency.drain()
+            fresh_mask = alive_flat[cells] & ~has_flat[cells]
+            latency.record(cells[fresh_mask], times[fresh_mask])
+            has_flat[cells[fresh_mask]] = True
         return has_message, messages, dropped, rounds, control

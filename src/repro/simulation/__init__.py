@@ -28,7 +28,14 @@ plane (:mod:`repro.simulation.churn`) adds time-varying join/leave schedules
 drawn as compact ``(R, n)`` event planes: pass a ``ChurnModel`` or
 ``ChurnScheduleBatch`` to either batched engine and members enter and leave
 mid-dissemination, with survivor-aware reliability accounting on
-``BatchProtocolResult``.
+``BatchProtocolResult``.  The latency plane (:mod:`repro.simulation.latency`)
+closes the loop with the event-driven reference: the same ``NetworkModel``
+latency samplers drive a :class:`~repro.simulation.latency.DeliveryTimePlane`
+that discretises per-message delays onto the round clock, so both batched
+engines report per-member ``delivery_times`` and tail percentiles
+(``delivery_percentiles``) at batched speed — bit-identical to the
+latency-free engines whenever the sampler is a constant within one round
+period.
 """
 
 from repro.simulation.engine import EventScheduler, Event
@@ -49,11 +56,19 @@ from repro.simulation.failures import (
     CrashTiming,
 )
 from repro.simulation.network import (
+    ConstantLatency,
+    ExponentialLatency,
     GilbertElliottNetworkModel,
     NetworkModel,
+    UniformLatency,
     latency_constant,
     latency_exponential,
     latency_uniform,
+)
+from repro.simulation.latency import (
+    DeliveryTimePlane,
+    delivery_percentiles,
+    percentile_label,
 )
 from repro.simulation.gossip import (
     BatchGossipResult,
@@ -93,9 +108,15 @@ __all__ = [
     "CrashTiming",
     "NetworkModel",
     "GilbertElliottNetworkModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "ExponentialLatency",
     "latency_constant",
     "latency_exponential",
     "latency_uniform",
+    "DeliveryTimePlane",
+    "delivery_percentiles",
+    "percentile_label",
     "GossipExecution",
     "BatchGossipResult",
     "simulate_gossip_once",

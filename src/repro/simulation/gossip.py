@@ -42,6 +42,7 @@ from repro.core.distributions import FanoutDistribution
 from repro.simulation.churn import ChurnScheduleBatch
 from repro.simulation.engine import EventScheduler
 from repro.simulation.failures import FailurePattern, UniformCrashModel
+from repro.simulation.latency import DeliveryTimePlane, delivery_percentiles
 from repro.simulation.membership import FullView, MembershipView
 from repro.simulation.metrics import ExecutionMetrics
 from repro.simulation.network import NetworkModel
@@ -81,6 +82,12 @@ class GossipExecution:
         Messages that arrived at members which already had the message.
     messages_dropped:
         Messages lost in transit by the network model (0 without one).
+    delivery_times:
+        Optional ``(n,)`` float array of first-receipt times (``inf`` for
+        members that never received the message).  Populated by the
+        event-driven reference and by batched rows carrying a latency
+        plane; ``None`` on the round-abstracted scalar path, where time
+        does not exist.
     """
 
     n: int
@@ -91,6 +98,7 @@ class GossipExecution:
     messages_sent: int
     duplicates: int
     messages_dropped: int = 0
+    delivery_times: np.ndarray | None = None
 
     def n_alive(self) -> int:
         """Return the number of nonfailed members."""
@@ -130,6 +138,16 @@ class GossipExecution:
     def missed_members(self) -> np.ndarray:
         """Return the nonfailed members that did not receive the message."""
         return np.flatnonzero(self.alive & ~self.delivered)
+
+    def delivery_percentiles(
+        self, percentiles: tuple[float, ...] = (50.0, 99.0, 99.9)
+    ) -> dict[str, float]:
+        """Delivery-time percentiles (delivered members only), e.g. p50/p99/p999."""
+        if self.delivery_times is None:
+            raise ValueError(
+                "no delivery times recorded: this execution ran without a latency plane"
+            )
+        return delivery_percentiles(self.delivery_times, percentiles)
 
     def metrics(self) -> ExecutionMetrics:
         """Return the flat metrics record for aggregation."""
@@ -276,6 +294,12 @@ class BatchGossipResult:
     messages_dropped:
         ``(R,)`` messages lost in transit per replica (all zero without a
         lossy network).
+    delivery_times:
+        Optional ``(R, n)`` float array of first-receipt times on the round
+        clock (``round * round_period + latency``; ``inf`` where
+        undelivered).  Present exactly when the batch ran with a network —
+        the latency plane is part of the network model's contract — and
+        ``None`` otherwise.
     """
 
     n: int
@@ -286,6 +310,7 @@ class BatchGossipResult:
     messages_sent: np.ndarray
     duplicates: np.ndarray
     messages_dropped: np.ndarray | None = None
+    delivery_times: np.ndarray | None = None
 
     def __post_init__(self):
         if self.messages_dropped is None:
@@ -321,6 +346,17 @@ class BatchGossipResult:
             min_delivered = max(10, int(np.sqrt(self.n)))
         return self.n_delivered() > min_delivered
 
+    def delivery_percentiles(
+        self, percentiles: tuple[float, ...] = (50.0, 99.0, 99.9)
+    ) -> dict[str, float]:
+        """Pooled delivery-time percentiles across all replicas (p50/p99/p999)."""
+        if self.delivery_times is None:
+            raise ValueError(
+                "no delivery times recorded: run the batch with a network model "
+                "to enable the latency plane"
+            )
+        return delivery_percentiles(self.delivery_times, percentiles)
+
     def execution(self, replica: int) -> GossipExecution:
         """Return one replica as a scalar :class:`GossipExecution` record."""
         replica = check_integer("replica", replica, minimum=0, maximum=self.repetitions - 1)
@@ -333,6 +369,9 @@ class BatchGossipResult:
             messages_sent=int(self.messages_sent[replica]),
             duplicates=int(self.duplicates[replica]),
             messages_dropped=int(self.messages_dropped[replica]),
+            delivery_times=(
+                self.delivery_times[replica] if self.delivery_times is not None else None
+            ),
         )
 
     def metrics(self) -> list[ExecutionMetrics]:
@@ -370,6 +409,8 @@ def simulate_gossip_batch(
     alive: np.ndarray | None = None,
     network: NetworkModel | None = None,
     churn: ChurnScheduleBatch | None = None,
+    latency: DeliveryTimePlane | None = None,
+    round_period: float = 1.0,
 ) -> BatchGossipResult:
     """Run ``repetitions`` independent gossip executions as one array program.
 
@@ -407,6 +448,19 @@ def simulate_gossip_batch(
         network drops — the peer simply is not there).  A trivial schedule is
         skipped entirely, so zero churn is bit-for-bit identical to the
         ``churn=None`` path.
+    latency:
+        Optional externally owned :class:`DeliveryTimePlane` (used by the
+        protocol hooks that delegate here so the caller keeps the plane).
+        When ``None`` and a network is present, the engine creates its own
+        plane and surfaces ``delivery_times`` on the result: messages sent
+        in round ``t`` (1-based) at time ``(t-1) * round_period`` arrive a
+        latency draw later and infect their target once the round clock
+        passes the arrival instant.  With the default constant unit latency
+        the plane consumes no randomness and defers nothing, so results are
+        bit-for-bit identical to the plane-free engine.
+    round_period:
+        Round duration ``T`` of the discretised clock (ignored when an
+        external ``latency`` plane is passed, which carries its own).
     """
     n = check_integer("n", n, minimum=1)
     q = check_probability("q", q)
@@ -451,6 +505,16 @@ def simulate_gossip_batch(
     delivered_flat = delivered.ravel()
     alive_flat = alive_masks.ravel()
 
+    plane = latency
+    if plane is None and network is not None:
+        plane = DeliveryTimePlane(network, repetitions, n, round_period=round_period)
+    if plane is not None:
+        # The source holds the message from the start of the execution.
+        plane.record(
+            np.arange(repetitions, dtype=np.int64) * n + source,
+            np.zeros(repetitions),
+        )
+
     round_index = 0
     while True:
         round_index += 1
@@ -462,50 +526,81 @@ def simulate_gossip_batch(
             present_flat = present.ravel()
             frontier &= present
         active = frontier.any(axis=1)
+        if plane is not None:
+            # In-flight messages keep a replica's clock running even when no
+            # member is forwarding this round.
+            active |= plane.pending_mask()
         if not active.any():
             break
         rounds += active
 
+        cell_ids = np.zeros(0, dtype=np.int64)
+        arrived_per_replica = np.zeros(repetitions, dtype=np.int64)
+        no_forwarders = False
         replica_idx, member_idx = np.nonzero(frontier)
-        fanouts = distribution.sample(member_idx.size, seed=rng)
-        forwarding = fanouts > 0
-        if not forwarding.any():
-            break
-        targets, sender_idx = view.sample_targets_batch(
-            member_idx[forwarding], fanouts[forwarding], rng
-        )
         frontier = np.zeros((repetitions, n), dtype=bool)
-        if not targets.size:
-            continue
-        target_replica = replica_idx[forwarding][sender_idx]
-        sent_per_replica = np.bincount(target_replica, minlength=repetitions)
-        messages_sent += sent_per_replica
-        arrived_per_replica = sent_per_replica
-        if network is not None:
-            keep, dropped = network.draw_loss_batch(rng, target_replica, repetitions)
-            messages_dropped += dropped
-            arrived_per_replica = sent_per_replica - dropped
-            targets = targets[keep]
-            target_replica = target_replica[keep]
-            if not targets.size:
-                continue
-        if present_flat is not None:
-            # Sends to absent peers are wasted: sent but never arrived (and
-            # never duplicates), without counting as network drops.
-            keep = present_flat[target_replica * n + targets]
-            if not keep.all():
-                arrived_per_replica = arrived_per_replica - np.bincount(
-                    target_replica[~keep], minlength=repetitions
+        if member_idx.size:
+            fanouts = distribution.sample(member_idx.size, seed=rng)
+            forwarding = fanouts > 0
+            if not forwarding.any():
+                no_forwarders = True
+            else:
+                targets, sender_idx = view.sample_targets_batch(
+                    member_idx[forwarding], fanouts[forwarding], rng
                 )
-                targets = targets[keep]
-                target_replica = target_replica[keep]
-                if not targets.size:
-                    continue
+                if targets.size:
+                    target_replica = replica_idx[forwarding][sender_idx]
+                    sent_per_replica = np.bincount(target_replica, minlength=repetitions)
+                    messages_sent += sent_per_replica
+                    arrived_per_replica = sent_per_replica
+                    if network is not None:
+                        keep, dropped = network.draw_loss_batch(
+                            rng, target_replica, repetitions
+                        )
+                        messages_dropped += dropped
+                        arrived_per_replica = sent_per_replica - dropped
+                        targets = targets[keep]
+                        target_replica = target_replica[keep]
+                    if present_flat is not None and targets.size:
+                        # Sends to absent peers are wasted: sent but never
+                        # arrived (and never duplicates), without counting as
+                        # network drops.
+                        keep = present_flat[target_replica * n + targets]
+                        if not keep.all():
+                            arrived_per_replica = arrived_per_replica - np.bincount(
+                                target_replica[~keep], minlength=repetitions
+                            )
+                            targets = targets[keep]
+                            target_replica = target_replica[keep]
+                    cell_ids = target_replica * n + targets
+
+        cell_times = None
+        if plane is not None:
+            # One latency draw per surviving send; what comes back is the
+            # batch processable this round (matured buckets + same-round
+            # arrivals).  Deferred arrivals are re-checked against the churn
+            # view of *this* round: the target must be there when the message
+            # lands, not when it was sent.
+            cell_ids, cell_times, _ = plane.schedule(round_index - 1, cell_ids, rng)
+            if present_flat is not None and cell_ids.size:
+                keep = present_flat[cell_ids]
+                cell_ids = cell_ids[keep]
+                cell_times = cell_times[keep]
+            arrived_per_replica = np.bincount(cell_ids // n, minlength=repetitions)
+        elif no_forwarders:
+            break
+
+        if not cell_ids.size:
+            if no_forwarders and plane is not None and not plane.has_pending():
+                break
+            continue
+        if plane is not None:
+            fresh_mask = ~received_flat[cell_ids]
+            plane.record(cell_ids[fresh_mask], cell_times[fresh_mask])
 
         # Deliveries are booked per (replica, target) cell: duplicates are
         # targets already infected or repeated within this round's batch
         # (dropped messages never arrive, so they are not duplicates).
-        cell_ids = target_replica * n + targets
         unique_cells = np.unique(cell_ids)
         fresh = unique_cells[~received_flat[unique_cells]]
         duplicates += arrived_per_replica - np.bincount(fresh // n, minlength=repetitions)
@@ -513,6 +608,12 @@ def simulate_gossip_batch(
         newly_alive = fresh[alive_flat[fresh]]
         delivered_flat[newly_alive] = True
         frontier.ravel()[newly_alive] = True
+
+    delivery_times = None
+    if plane is not None and latency is None:
+        # The engine owns the plane: close it out.  (Hooks that passed their
+        # own plane finalize it themselves with the protocol's delivered mask.)
+        delivery_times = plane.finalize(delivered)
 
     return BatchGossipResult(
         n=n,
@@ -523,6 +624,7 @@ def simulate_gossip_batch(
         messages_sent=messages_sent,
         duplicates=duplicates,
         messages_dropped=messages_dropped,
+        delivery_times=delivery_times,
     )
 
 
@@ -592,6 +694,8 @@ def simulate_gossip_event_driven(
 
     delivered = np.array([m.delivered for m in members], dtype=bool)
     duplicates = int(sum(m.duplicates for m in members))
+    delivery_times = np.array([m.first_receipt_time for m in members], dtype=float)
+    delivery_times[~delivered] = np.inf
     return GossipExecution(
         n=n,
         source=source,
@@ -601,4 +705,5 @@ def simulate_gossip_event_driven(
         messages_sent=int(state["messages_sent"]),
         duplicates=duplicates,
         messages_dropped=int(net.messages_dropped - dropped_before),
+        delivery_times=delivery_times,
     )

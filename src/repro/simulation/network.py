@@ -22,7 +22,7 @@ makes the lossy engines bit-for-bit identical to the loss-free ones at
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, ClassVar
 
 import numpy as np
 
@@ -32,31 +32,105 @@ from repro.utils.validation import check_probability
 __all__ = [
     "NetworkModel",
     "GilbertElliottNetworkModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "ExponentialLatency",
     "latency_constant",
     "latency_uniform",
     "latency_exponential",
 ]
 
 
-def latency_constant(value: float = 1.0) -> Callable[[np.random.Generator], float]:
+@dataclass(frozen=True)
+class ConstantLatency:
+    """Degenerate latency law: every message takes exactly ``value``.
+
+    The latency samplers are small frozen dataclasses (not closures) so a
+    :class:`NetworkModel` can cross a process boundary — latency-plane
+    experiments fan their cells out through ``parallel_map``, which pickles
+    the work tuples.  Each sampler supports both the scalar protocol
+    (``sampler(rng) -> float``, used per message by the event-driven engine)
+    and the vectorised one (``sampler.draw(rng, count) -> (count,)``, used by
+    the batched latency plane).  The constant law is the only one whose
+    ``draw`` consumes **no randomness** — that is what keeps the latency
+    plane bit-identical to the latency-free engines at the default
+    configuration.
+    """
+
+    value: float = 1.0
+    #: degenerate laws let the latency plane skip its time-bucket machinery
+    is_constant: ClassVar[bool] = True
+
+    def __post_init__(self):
+        if self.value < 0:
+            raise ValueError(f"latency must be >= 0, got {self.value!r}")
+
+    def __call__(self, rng: np.random.Generator) -> float:
+        return self.value
+
+    def draw(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return np.full(count, self.value)
+
+    def mean(self) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class UniformLatency:
+    """Latency uniform on ``[low, high]``."""
+
+    low: float
+    high: float
+    is_constant: ClassVar[bool] = False
+
+    def __post_init__(self):
+        if self.low < 0 or self.high < self.low:
+            raise ValueError(f"invalid latency range [{self.low}, {self.high}]")
+
+    def __call__(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def draw(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, count)
+
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+
+@dataclass(frozen=True)
+class ExponentialLatency:
+    """Exponentially distributed latency with the given mean."""
+
+    mean_latency: float
+    is_constant: ClassVar[bool] = False
+
+    def __post_init__(self):
+        if self.mean_latency <= 0:
+            raise ValueError(f"mean latency must be > 0, got {self.mean_latency!r}")
+
+    def __call__(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean_latency))
+
+    def draw(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return rng.exponential(self.mean_latency, count)
+
+    def mean(self) -> float:
+        return self.mean_latency
+
+
+def latency_constant(value: float = 1.0) -> ConstantLatency:
     """Return a latency sampler that always returns ``value``."""
-    if value < 0:
-        raise ValueError(f"latency must be >= 0, got {value!r}")
-    return lambda rng: value
+    return ConstantLatency(value)
 
 
-def latency_uniform(low: float, high: float) -> Callable[[np.random.Generator], float]:
+def latency_uniform(low: float, high: float) -> UniformLatency:
     """Return a latency sampler uniform on ``[low, high]``."""
-    if low < 0 or high < low:
-        raise ValueError(f"invalid latency range [{low}, {high}]")
-    return lambda rng: float(rng.uniform(low, high))
+    return UniformLatency(low, high)
 
 
-def latency_exponential(mean: float) -> Callable[[np.random.Generator], float]:
+def latency_exponential(mean: float) -> ExponentialLatency:
     """Return an exponentially distributed latency sampler with the given mean."""
-    if mean <= 0:
-        raise ValueError(f"mean latency must be > 0, got {mean!r}")
-    return lambda rng: float(rng.exponential(mean))
+    return ExponentialLatency(mean)
 
 
 @dataclass
@@ -86,6 +160,38 @@ class NetworkModel:
     def __post_init__(self):
         self.loss_probability = check_probability("loss_probability", self.loss_probability)
 
+    def draw_latency(self, rng: np.random.Generator) -> float:
+        """Draw one delivery latency and book it into ``total_latency``."""
+        delay = float(self.latency(as_generator(rng)))
+        self.total_latency += delay
+        return delay
+
+    def draw_latency_batch(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` delivery latencies at once; book them into ``total_latency``.
+
+        The vectorised latency leg of the batched engines: one call per round
+        leg covers every message that actually arrived (survived loss and
+        membership filtering).  A :class:`ConstantLatency` sampler (the
+        default) consumes **no randomness**, so enabling the latency plane at
+        constant latency leaves every per-seed result bit-identical to the
+        latency-free engines; ``count == 0`` never touches the sampler at
+        all.  Legacy closure samplers (no vectorised ``draw``) fall back to a
+        per-message Python loop.
+        """
+        count = int(count)
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return np.empty(0, dtype=float)
+        rng = as_generator(rng)
+        draw = getattr(self.latency, "draw", None)
+        if draw is not None:
+            delays = np.asarray(draw(rng, count), dtype=float)
+        else:
+            delays = np.array([float(self.latency(rng)) for _ in range(count)])
+        self.total_latency += float(delays.sum())
+        return delays
+
     def transmit(self, rng: np.random.Generator, deliver: Callable[[float], None]) -> bool:
         """Transmit one message: maybe drop it, otherwise call ``deliver(latency)``.
 
@@ -105,10 +211,14 @@ class NetworkModel:
     def draw_loss(self, rng: np.random.Generator, count: int) -> np.ndarray:
         """Thin ``count`` messages at once; return the boolean keep mask.
 
-        The vectorised equivalent of ``count`` :meth:`transmit` calls without
-        the latency leg: counters are updated, ``mask[i]`` is ``True`` iff
-        message ``i`` survives.  At ``loss_probability == 0`` (or
-        ``count == 0``) the mask is all-``True`` and **no randomness is
+        The vectorised equivalent of ``count`` :meth:`transmit` calls:
+        counters are updated, ``mask[i]`` is ``True`` iff message ``i``
+        survives, and — like :meth:`transmit` — every surviving message books
+        one latency draw into ``total_latency``, so the scalar engines'
+        counters describe exactly one execution whether messages go through
+        :meth:`transmit` or through per-round ``draw_loss`` bursts.  At
+        ``loss_probability == 0`` (or ``count == 0``) the mask is all-``True``
+        and — with the default constant-latency sampler — **no randomness is
         consumed**, so a loss-free network leaves the caller's RNG stream —
         and therefore its per-seed results — untouched.
         """
@@ -117,9 +227,11 @@ class NetworkModel:
             raise ValueError(f"count must be >= 0, got {count}")
         self.messages_sent += count
         if count == 0 or self.loss_probability <= 0.0:
+            self.draw_latency_batch(rng, count)
             return np.ones(count, dtype=bool)
         keep = as_generator(rng).random(count) >= self.loss_probability
         self.messages_dropped += count - int(keep.sum())
+        self.draw_latency_batch(rng, int(keep.sum()))
         return keep
 
     def draw_loss_batch(
@@ -145,6 +257,11 @@ class NetworkModel:
             ``dropped_per_replica`` books the losses back to their replicas,
             shape ``(R,)``.  Counters accumulate the batch totals.  Like
             :meth:`draw_loss`, the zero-loss path consumes no randomness.
+            Latency bookkeeping is **not** done here: the batched engines
+            own the per-message latency draws through their
+            :class:`~repro.simulation.latency.DeliveryTimePlane`, which calls
+            :meth:`draw_latency_batch` for every arrived message — doing it
+            in both places would double-count ``total_latency``.
         """
         target_replica = np.asarray(target_replica, dtype=np.int64)
         count = int(target_replica.size)
@@ -191,6 +308,9 @@ class GilbertElliottNetworkModel(NetworkModel):
     round leg is thus one coherence interval (block fading), so the scalar
     and batched paths share the loss *law per leg* but not a per-message
     chain; cross-path pins for this channel are distributional only.
+    Crucially the chain advances even on **empty legs** (``count == 0``):
+    fading is a property of the channel's clock, not of offered traffic, so
+    a quiet round must not freeze the burst state.
 
     Determinism contracts preserved from the base class:
 
@@ -248,8 +368,21 @@ class GilbertElliottNetworkModel(NetworkModel):
         return self.bad_loss_probability if self._scalar_bad else self.loss_probability
 
     def _advance_batch(self, rng: np.random.Generator, repetitions: int) -> np.ndarray:
-        """Advance every replica's chain one step; return ``(R,)`` bad-state mask."""
-        if self._batch_bad is None or self._batch_bad.size != repetitions:
+        """Advance every replica's chain one step; return ``(R,)`` bad-state mask.
+
+        The chain is sized at first use (lazily, from the stationary
+        distribution).  Changing ``repetitions`` mid-run would have to throw
+        the accumulated burst state away, so it is an error: call
+        :meth:`reset` between batches of different widths instead of relying
+        on a silent stationary re-draw.
+        """
+        if self._batch_bad is not None and self._batch_bad.size != repetitions:
+            raise ValueError(
+                f"Gilbert-Elliott batch chain tracks {self._batch_bad.size} "
+                f"replicas but this draw asked for {repetitions}; call reset() "
+                "before reusing the model with a different batch width"
+            )
+        if self._batch_bad is None:
             self._batch_bad = rng.random(repetitions) < self.stationary_bad_fraction()
         else:
             uniforms = rng.random(repetitions)
@@ -281,13 +414,18 @@ class GilbertElliottNetworkModel(NetworkModel):
         if count < 0:
             raise ValueError(f"count must be >= 0, got {count}")
         self.messages_sent += count
+        rng = as_generator(rng)
+        # Block fading: advance the chain once per leg even when the leg is
+        # empty, so the burst state tracks channel time rather than traffic.
+        rate = self._advance_scalar(rng)
         if count == 0:
             return np.ones(0, dtype=bool)
-        rate = self._advance_scalar(as_generator(rng))
         if rate <= 0.0:
+            self.draw_latency_batch(rng, count)
             return np.ones(count, dtype=bool)
-        keep = as_generator(rng).random(count) >= rate
+        keep = rng.random(count) >= rate
         self.messages_dropped += count - int(keep.sum())
+        self.draw_latency_batch(rng, int(keep.sum()))
         return keep
 
     def draw_loss_batch(
@@ -301,10 +439,11 @@ class GilbertElliottNetworkModel(NetworkModel):
         target_replica = np.asarray(target_replica, dtype=np.int64)
         count = int(target_replica.size)
         self.messages_sent += count
+        rng = as_generator(rng)
+        # Empty legs still advance every replica's chain (see draw_loss).
+        bad = self._advance_batch(rng, repetitions)
         if count == 0:
             return np.ones(0, dtype=bool), np.zeros(repetitions, dtype=np.int64)
-        rng = as_generator(rng)
-        bad = self._advance_batch(rng, repetitions)
         rates = np.where(bad, self.bad_loss_probability, self.loss_probability)
         keep = rng.random(count) >= rates[target_replica]
         dropped = np.bincount(target_replica[~keep], minlength=repetitions)

@@ -36,6 +36,7 @@ and every protocol consumes the same target-drawing law.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 
 import numpy as np
@@ -46,6 +47,7 @@ from repro.simulation.failures import (
     FailurePatternBatch,
     UniformCrashModel,
 )
+from repro.simulation.latency import DeliveryTimePlane, delivery_percentiles
 from repro.simulation.network import NetworkModel
 from repro.utils.rng import as_generator
 from repro.utils.sampling import sample_distinct_rows_excluding
@@ -99,6 +101,12 @@ class BatchProtocolResult:
         IHAVE/IWANT, pull requests) — the subset of ``messages_sent`` that
         carried no payload.  ``None`` for protocols that never distinguish
         control traffic (treated as all-payload).
+    delivery_times:
+        Optional ``(R, n)`` float array of first-receipt times on the round
+        clock (``inf`` where undelivered).  Present when the batch ran with
+        a network model *and* the protocol's batched hook supports the
+        latency plane; ``None`` otherwise (notably for scalar-replay
+        fallbacks, which honestly report that no times were tracked).
     """
 
     protocol: str
@@ -112,6 +120,7 @@ class BatchProtocolResult:
     failure: FailurePatternBatch
     present: np.ndarray | None = None
     control_messages_sent: np.ndarray | None = None
+    delivery_times: np.ndarray | None = None
 
     @property
     def repetitions(self) -> int:
@@ -193,6 +202,17 @@ class BatchProtocolResult:
             survivors.sum(axis=1), 1
         )
 
+    def delivery_percentiles(
+        self, percentiles: tuple[float, ...] = (50.0, 99.0, 99.9)
+    ) -> dict[str, float]:
+        """Pooled delivery-time percentiles across all replicas (p50/p99/p999)."""
+        if self.delivery_times is None:
+            raise ValueError(
+                "no delivery times recorded: run the batch with a network model "
+                "and a latency-capable protocol hook"
+            )
+        return delivery_percentiles(self.delivery_times, percentiles)
+
     def result(self, replica: int):
         """Return one replica as a scalar :class:`~repro.protocols.base.ProtocolResult`."""
         from repro.protocols.base import ProtocolResult
@@ -254,6 +274,7 @@ def simulate_protocol_batch(
     failure_model: FailureModel | None = None,
     network: NetworkModel | None = None,
     churn: ChurnModel | ChurnScheduleBatch | None = None,
+    round_period: float = 1.0,
 ) -> BatchProtocolResult:
     """Run ``repetitions`` independent executions of ``protocol`` as one array program.
 
@@ -299,6 +320,14 @@ def simulate_protocol_batch(
         zero-rate model draws no randomness and a trivial schedule is
         skipped, so churn rate 0 is bit-for-bit identical to the
         ``churn=None`` path.
+    round_period:
+        Round duration ``T`` of the latency plane's discretised clock.
+        When a network is present and the protocol's batched hook accepts a
+        ``latency`` plane, every message additionally draws a delivery
+        latency from ``network.latency`` and the result carries
+        ``delivery_times``; with the default constant unit latency the
+        plane consumes no randomness and the batch stays bit-for-bit
+        identical to earlier engines.
     """
     n = check_integer("n", n, minimum=2)
     q = check_probability("q", q)
@@ -327,12 +356,25 @@ def simulate_protocol_batch(
             schedule = None  # static group: take the churn-free path verbatim
 
     # Legacy hook contract: external subclasses may still implement the
-    # loss-free 4-argument signature, so the network and churn planes are
-    # threaded through only when actually requested.
+    # loss-free 4-argument signature, so the network, churn, and latency
+    # planes are threaded through only when actually requested.
     kwargs = {}
+    plane = None
     if network is not None:
         network.reset()
         kwargs["network"] = network
+        hook_params = inspect.signature(type(protocol)._disseminate_batch).parameters
+        accepts_latency = "latency" in hook_params or any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in hook_params.values()
+        )
+        if accepts_latency:
+            plane = DeliveryTimePlane(network, repetitions, n, round_period=round_period)
+            # The source holds the message from the start of every replica.
+            plane.record(
+                np.arange(repetitions, dtype=np.int64) * n + source,
+                np.zeros(repetitions),
+            )
+            kwargs["latency"] = plane
     if schedule is not None:
         kwargs["churn"] = schedule
     out = protocol._disseminate_batch(n, alive, source, rng, **kwargs)
@@ -350,6 +392,7 @@ def simulate_protocol_batch(
     delivered &= alive  # failed members never count as delivered
     delivered[:, source] = True
     present = schedule.present_at_rounds(rounds) if schedule is not None else None
+    delivery_times = plane.finalize(delivered) if plane is not None else None
     return BatchProtocolResult(
         protocol=protocol.name,
         n=n,
@@ -362,4 +405,5 @@ def simulate_protocol_batch(
         failure=failure,
         present=present,
         control_messages_sent=control,
+        delivery_times=delivery_times,
     )

@@ -130,6 +130,17 @@ class TestRun:
         for pa, pb in zip(a.points, b.points):
             assert pa == pb
 
+    def test_network_model_crosses_the_process_pool(self):
+        # The NetworkModel is pickled into the workers whole (the latency
+        # samplers are frozen dataclasses); the old code rebuilt the model
+        # inside each worker to dodge unpicklable closures.
+        config = small_config(
+            n=60, loss_probabilities=(0.0, 0.3), repetitions=10, processes=2
+        )
+        result = run_loss_resilience(config)
+        assert len(result.points) == len(config.protocols()) * 2
+        assert all(0.0 <= p.reliability <= 1.0 for p in result.points)
+
     def test_scalar_engine_agrees_with_batch(self):
         # 24 replicas: random-fanout is bimodal (take-off or die-out), so
         # smaller samples leave the mean one take-off short of the other side.

@@ -19,6 +19,7 @@ class TestRegistry:
             "fig5",
             "fig6",
             "fig7",
+            "latency_profile",
             "loss_resilience",
             "protocol_comparison",
             "recovery_resilience",

@@ -1,0 +1,64 @@
+"""Latency-plane guarantees across the whole protocol zoo.
+
+Two pins per protocol:
+
+* **latency-off bit-identity** — attaching a ``NetworkModel()`` (constant
+  unit latency, no loss) must not perturb a single boolean of the batched
+  execution: the plane's constant fast path consumes no randomness and
+  reorders nothing.
+* **delivery-time surface** — when the plane is on, the finite entries of
+  ``delivery_times`` are exactly the delivered cells, and the percentile
+  accessor reports an ordered p50/p99/p999.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.protocol_comparison import protocol_zoo
+from repro.protocols import FixedFanoutGossip
+from repro.simulation.network import NetworkModel, latency_exponential
+
+ZOO = protocol_zoo(4, 8, include_peer_sampling=True, include_recovery=True)
+
+
+@pytest.mark.parametrize("protocol_id,protocol", ZOO, ids=[row[0] for row in ZOO])
+@pytest.mark.parametrize("q", [1.0, 0.9], ids=["q1.0", "q0.9"])
+class TestLatencyOffBitIdentity:
+    def test_constant_unit_latency_is_bit_identical(self, protocol_id, protocol, q):
+        base = protocol.run_batch(150, q, repetitions=12, seed=4242)
+        timed = protocol.run_batch(150, q, repetitions=12, seed=4242, network=NetworkModel())
+        np.testing.assert_array_equal(base.delivered, timed.delivered)
+        np.testing.assert_array_equal(base.rounds, timed.rounds)
+        np.testing.assert_array_equal(base.messages_sent, timed.messages_sent)
+        assert base.delivery_times is None
+        assert timed.delivery_times is not None
+        np.testing.assert_array_equal(np.isfinite(timed.delivery_times), timed.delivered)
+
+
+@pytest.mark.parametrize("protocol_id,protocol", ZOO, ids=[row[0] for row in ZOO])
+class TestDeliveryTimeSurface:
+    def test_random_latency_reports_ordered_percentiles(self, protocol_id, protocol):
+        result = protocol.run_batch(
+            120,
+            0.9,
+            repetitions=8,
+            seed=99,
+            network=NetworkModel(latency=latency_exponential(1.5)),
+        )
+        np.testing.assert_array_equal(np.isfinite(result.delivery_times), result.delivered)
+        # The source delivers to itself at time zero in every execution.
+        assert (result.delivery_times[:, 0] == 0.0).all()
+        pct = result.delivery_percentiles()
+        assert list(pct) == ["p50", "p99", "p999"]
+        assert pct["p50"] <= pct["p99"] <= pct["p999"]
+        assert np.isfinite(pct["p999"])
+
+
+class TestDeliveryPercentilesGating:
+    def test_percentiles_raise_without_a_plane(self):
+        result = FixedFanoutGossip(4).run_batch(80, 0.9, repetitions=4, seed=5)
+        assert result.delivery_times is None
+        with pytest.raises(ValueError):
+            result.delivery_percentiles()

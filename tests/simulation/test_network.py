@@ -285,3 +285,109 @@ class TestGilbertElliott:
             self.make(p_good_to_bad=-0.1)
         with pytest.raises(ValueError):
             self.make(p_bad_to_good=2.0)
+
+
+class TestGilbertElliottIdleLegs:
+    """Regression pins: the chain is block fading in *time*, so a leg with no
+    traffic must still advance the Markov state (the old code returned before
+    the transition, freezing bursts across idle legs)."""
+
+    def make_period2(self):
+        # Deterministic period-2 chain: the state flips every leg, and the
+        # extreme drop rates (0 in good, 1 in bad) make each leg's outcome a
+        # pure function of the state, whatever the RNG does.
+        return GilbertElliottNetworkModel(
+            loss_probability=0.0,
+            bad_loss_probability=1.0,
+            p_good_to_bad=1.0,
+            p_bad_to_good=1.0,
+        )
+
+    def test_scalar_empty_leg_advances_the_chain(self):
+        # An idle leg between two one-message legs flips the state twice, so
+        # legs 1 and 3 must agree; if the idle leg froze the chain, leg 3
+        # would observe the opposite state.
+        net = self.make_period2()
+        rng = np.random.default_rng(20080149)
+        leg1 = net.draw_loss(rng, 1)[0]
+        assert net.draw_loss(rng, 0).size == 0
+        leg3 = net.draw_loss(rng, 1)[0]
+        assert leg3 == leg1
+        # Control: without the idle leg, consecutive legs alternate.
+        contiguous = self.make_period2()
+        rng = np.random.default_rng(20080149)
+        first = contiguous.draw_loss(rng, 1)[0]
+        second = contiguous.draw_loss(rng, 1)[0]
+        assert second != first
+
+    def test_batch_empty_leg_advances_the_chain(self):
+        net = self.make_period2()
+        rng = np.random.default_rng(20080149)
+        replicas = np.arange(5, dtype=np.int64)
+        leg1, _ = net.draw_loss_batch(rng, replicas, 5)
+        empty, empty_dropped = net.draw_loss_batch(rng, np.empty(0, dtype=np.int64), 5)
+        assert empty.size == 0 and empty_dropped.sum() == 0
+        leg3, _ = net.draw_loss_batch(rng, replicas, 5)
+        np.testing.assert_array_equal(leg3, leg1)
+        contiguous = self.make_period2()
+        rng = np.random.default_rng(20080149)
+        first, _ = contiguous.draw_loss_batch(rng, replicas, 5)
+        second, _ = contiguous.draw_loss_batch(rng, replicas, 5)
+        np.testing.assert_array_equal(second, ~first)
+
+    def test_burst_statistics_with_interleaved_empty_legs(self, rng):
+        # With random transitions, one idle leg between observations means
+        # exactly TWO chain steps between consecutive non-empty legs.  The
+        # conditional drop-after-drop rate must match the two-step closed
+        # form: a frozen chain (zero steps) or a single step would both land
+        # well outside the tolerance.
+        net = GilbertElliottNetworkModel(
+            loss_probability=0.05,
+            bad_loss_probability=0.8,
+            p_good_to_bad=0.1,
+            p_bad_to_good=0.3,
+        )
+        drops = np.empty(6000, dtype=bool)
+        for i in range(drops.size):
+            drops[i] = not net.draw_loss(rng, 1)[0]
+            net.draw_loss(rng, 0)  # idle leg: one extra chain step
+        assert drops.mean() == pytest.approx(net.mean_loss_probability(), abs=0.03)
+        p_bad_given_drop = (
+            net.bad_loss_probability * net.stationary_bad_fraction()
+        ) / net.mean_loss_probability()
+        two_step_bb = 0.7 * 0.7 + 0.3 * 0.1
+        two_step_gb = 0.1 * 0.7 + 0.9 * 0.1
+        p_bad_next = p_bad_given_drop * two_step_bb + (1 - p_bad_given_drop) * two_step_gb
+        expected = (
+            p_bad_next * net.bad_loss_probability
+            + (1 - p_bad_next) * net.loss_probability
+        )
+        conditional = drops[1:][drops[:-1]].mean()
+        assert conditional == pytest.approx(expected, abs=0.045)
+
+
+class TestGilbertElliottBatchResize:
+    """Regression pin: silently re-dimensioning the per-replica chain mid-run
+    used to discard all burst state; now it is an explicit error."""
+
+    def make(self):
+        return GilbertElliottNetworkModel(
+            loss_probability=0.05,
+            bad_loss_probability=0.8,
+            p_good_to_bad=0.1,
+            p_bad_to_good=0.3,
+        )
+
+    def test_width_change_raises(self, rng):
+        net = self.make()
+        net.draw_loss_batch(rng, np.repeat(np.arange(4), 5), 4)
+        with pytest.raises(ValueError, match="reset"):
+            net.draw_loss_batch(rng, np.repeat(np.arange(8), 5), 8)
+
+    def test_reset_allows_new_width(self, rng):
+        net = self.make()
+        net.draw_loss_batch(rng, np.repeat(np.arange(4), 5), 4)
+        net.reset()
+        keep, dropped = net.draw_loss_batch(rng, np.repeat(np.arange(8), 5), 8)
+        assert keep.size == 40
+        assert dropped.size == 8
