@@ -1,0 +1,147 @@
+"""Benchmark of the serving layer: surface queries vs live dimensioning solves.
+
+``test_serving_vs_live_dimensioning`` poses the same inverse problem — the
+minimal mean fanout whose certificate clears a reliability target — to the
+surface fast path (:func:`repro.serving.query.dimension_from_surface` over a
+precomputed :func:`repro.serving.surface.build_surface` grid) and to the live
+solver (:func:`repro.analysis.dimensioning.dimension_fanout`), over a batch
+of held-out ``(target, q, loss)`` queries that avoid the surface knots.
+
+The headline ratio is **wall-clock speedup** (live seconds / served median
+seconds): unlike the replica ratios of the other benchmarks this one is
+genuinely about latency — the service's reason to exist — so the committed
+baseline pins a deliberately conservative floor (10^3; observed speedups
+run one to two orders of magnitude higher) rather than the measured value.
+The one-off surface build cost is recorded alongside so the amortisation
+story stays visible.  The record lands in ``BENCH_serving.json`` (path
+overridable via ``REPRO_BENCH_RECORD_SERVING``).
+
+At any scale every served answer must come from the surface (no silent live
+fallback), carry its conservative Wilson certificate
+(``ci_low >= target``), and the median speedup must be >= 10^3.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from _bench_utils import bench_scale, print_banner, scaled
+
+from repro.analysis.dimensioning import dimension_fanout
+from repro.serving.query import SurfaceQueryEngine, dimension_from_surface
+from repro.serving.surface import SurfaceGrid, build_surface
+
+#: Served-path timing repeats per query; the median is the served latency.
+QUERY_REPEATS = 50
+
+
+def _median(values) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def test_serving_vs_live_dimensioning():
+    """Surface fast path vs live bisection on held-out dimensioning queries."""
+    scale = bench_scale()
+    n = scaled(1000, 300, scale)
+    seed = 321
+
+    grid = SurfaceGrid(
+        ns=(n,),
+        qs=(0.75, 0.85, 0.95),
+        losses=(0.0, 0.1, 0.2),
+        fanouts=(2.0, 3.0, 4.0, 6.0, 8.0, 11.0, 15.0),
+    )
+    queries = [
+        (target, q, loss)
+        for target in (0.8, 0.9)
+        for q in (0.8, 0.9)
+        for loss in (0.05, 0.15)
+    ]
+
+    print_banner(
+        f"Serving vs live dimensioning — n={n}, {len(list(grid.cells()))} surface "
+        f"cells, {len(queries)} held-out queries"
+    )
+
+    build_start = time.perf_counter()
+    surface = build_surface(grid, repetitions=96, seed=seed)
+    build_seconds = time.perf_counter() - build_start
+    engine = SurfaceQueryEngine(surface)
+    print(f"surface build: {build_seconds:.2f}s (one-off, amortised over all queries)")
+    print(
+        f"{'target':>7s} {'q':>5s} {'loss':>5s} {'served f':>9s} {'live f':>7s} "
+        f"{'served us':>10s} {'live s':>7s} {'speedup':>9s}"
+    )
+
+    cells = {}
+    speedups = []
+    for index, (target, q, loss) in enumerate(queries):
+        timings = []
+        for _ in range(QUERY_REPEATS):
+            tick = time.perf_counter()
+            served = dimension_from_surface(
+                engine, n=n, q=q, target_reliability=target, loss=loss,
+                allow_live_fallback=False,
+            )
+            timings.append(time.perf_counter() - tick)
+        served_seconds = _median(timings)
+
+        live_start = time.perf_counter()
+        live = dimension_fanout(
+            n, q, target, loss=loss, seed=seed + index, conditional_on_spread=True
+        )
+        live_seconds = time.perf_counter() - live_start
+
+        assert served.source == "surface", (
+            f"target={target} q={q} loss={loss}: served answer fell back to "
+            f"{served.source}"
+        )
+        assert served.feasible and served.ci_low >= target, (
+            f"target={target} q={q} loss={loss}: served answer lacks its "
+            f"certificate (ci_low {served.ci_low:.4f})"
+        )
+        assert live.feasible
+
+        speedup = live_seconds / max(served_seconds, 1e-9)
+        speedups.append(speedup)
+        cells[f"target_{target}_q_{q}_loss_{loss}"] = {
+            "served_fanout": served.fanout,
+            "live_fanout": live.fanout,
+            "served_ci_low": served.ci_low,
+            "live_ci_low": live.ci_low,
+            "served_seconds": served_seconds,
+            "live_seconds": live_seconds,
+        }
+        print(
+            f"{target:7.2f} {q:5.2f} {loss:5.2f} {served.fanout:9.2f} "
+            f"{live.fanout:7.2f} {served_seconds * 1e6:10.1f} {live_seconds:7.2f} "
+            f"{speedup:8.0f}x"
+        )
+
+    median_speedup = _median(speedups)
+    record = {
+        "benchmark": "serving_vs_live_dimensioning",
+        "n": n,
+        "scale": scale,
+        "surface_cells": surface.cells,
+        "surface_build_seconds": build_seconds,
+        "query_repeats": QUERY_REPEATS,
+        "cells": cells,
+        "speedup": median_speedup,
+    }
+    record_path = os.environ.get("REPRO_BENCH_RECORD_SERVING", "BENCH_serving.json")
+    with open(record_path, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"median served-vs-live speedup: {median_speedup:.0f}x")
+    print(f"perf record written to {record_path}")
+
+    assert median_speedup >= 1e3, (
+        f"median serving speedup only {median_speedup:.0f}x (floor 1000x)"
+    )

@@ -46,6 +46,7 @@ DEFAULT_RECORDS = (
     "BENCH_churn.json",
     "BENCH_recovery.json",
     "BENCH_latency.json",
+    "BENCH_serving.json",
 )
 
 __all__ = ["collect_speedups", "compare_records", "check_directories", "main"]

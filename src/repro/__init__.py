@@ -13,9 +13,18 @@ The package is organised as:
   general gossip algorithm with fail-stop failures.
 * :mod:`repro.protocols` — baseline reliable-multicast protocols used for
   comparison (fixed fanout, pbcast-style, lpbcast-style, RDG-style, flooding).
-* :mod:`repro.analysis` — sweeps, analysis-vs-simulation comparison, and
-  goodness-of-fit utilities.
-* :mod:`repro.experiments` — one driver per figure of the paper's evaluation.
+* :mod:`repro.analysis` — sweeps, analysis-vs-simulation comparison,
+  goodness-of-fit utilities, and the certified dimensioning solvers
+  (:func:`~repro.analysis.dimensioning.dimension_fanout`,
+  :func:`~repro.analysis.dimensioning.dimension_pareto`).
+* :mod:`repro.serving` — dimensioning as a service: precomputed certified
+  reliability surfaces, interpolated microsecond queries, and the
+  JSON-lines serving loop behind ``repro serve``.
+* :mod:`repro.experiments` — one driver per registered experiment: the
+  paper's figures plus the extension planes (see ``docs/EXPERIMENTS.md``).
+
+See ``docs/ARCHITECTURE.md`` for how the layers stack onto the paper's
+equations (Eqs. 3-4, 11, 12).
 """
 
 from repro.core import (

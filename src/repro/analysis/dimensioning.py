@@ -44,6 +44,34 @@ against (``benchmarks/bench_dimensioning.py``): it walks a fixed fanout grid
 at the full replica budget per point.  Both report the replicas they consumed
 so the benchmark compares *statistical* cost, which — unlike wall-clock — is
 machine-independent and therefore safe to regression-gate.
+
+:func:`dimension_pareto` generalises the lexicographic protocol-mode answer
+(minimal fanout, then minimal rounds at that fanout) to the **joint**
+``(fanout, rounds)`` trade-off: it returns the full Pareto frontier of
+non-dominated feasible pairs plus the cost-aware pick (minimal measured
+payload messages per member subject to ``ci_low >= target``), so a deployment
+that cares about latency (rounds) and one that cares about bandwidth
+(messages) read their answer off the same solve.
+
+.. _loss-semantics:
+
+Loss semantics (the contract)
+-----------------------------
+``loss`` means the same thing everywhere in this module: an **independent
+per-message (per-leg) Bernoulli drop probability**, applied by the engines'
+:class:`~repro.simulation.network.NetworkModel` plane to every point-to-point
+send.  Both :func:`dimension_fanout` and :func:`dense_grid_dimension` measure
+candidates with those per-message semantics, so their answers are directly
+comparable (cross-checked at ``p = 0.25`` in
+``tests/analysis/test_dimensioning.py``).
+
+*Effective-fanout thinning* — treating a fanout-``f`` member under loss ``p``
+like a fanout-``f(1-p)`` member on a loss-free network — appears **only** in
+the analytic bracket seed (:func:`analytic_required_fanout`).  For a Poisson
+fanout the two views coincide exactly (an independently thinned Poisson is
+Poisson); for every other family thinning is a bracket-quality approximation
+that the Monte-Carlo refinement then corrects under the true per-message
+semantics.
 """
 
 from __future__ import annotations
@@ -70,6 +98,10 @@ __all__ = [
     "DimensioningResult",
     "dimension_fanout",
     "dense_grid_dimension",
+    "pareto_frontier",
+    "ParetoCandidate",
+    "ParetoDimensioningResult",
+    "dimension_pareto",
 ]
 
 
@@ -115,7 +147,10 @@ def analytic_required_fanout(
     fanout ``f`` satisfies ``R(q, P(f · (1 - loss))) >= target_reliability``
     on the Eqs. 3-4 curve.  For :class:`~repro.core.distributions.PoissonFanout`
     this is Eq. 12 divided by ``(1 - loss)`` (thinning a Poisson is exact);
-    for any other family the monotone curve is bisected numerically.
+    for any other family the monotone curve is bisected numerically.  This is
+    the *only* place loss enters as thinning — the Monte-Carlo solvers measure
+    candidates under true per-message Bernoulli drops (see :ref:`the loss
+    contract <loss-semantics>` in the module docstring).
 
     Raises ``ValueError`` when the target is unreachable below ``max_fanout``
     (e.g. ``q = 0`` or ``loss = 1``).
@@ -226,7 +261,7 @@ class _FeasibilityOracle:
     def __init__(
         self,
         evaluate_batch,  # (fanout, rounds, repetitions, seed) -> (R,) reliabilities
-        *,
+        *,               # ... or ((R,) reliabilities, (R,) per-member costs)
         target: float,
         confidence: float,
         initial_replicas: int,
@@ -241,6 +276,9 @@ class _FeasibilityOracle:
         self._rng = rng
         self.replicas_used = 0
         self.evaluations = 0
+        #: Mean per-member payload cost observed during the most recent
+        #: decision (NaN when the evaluator does not report costs).
+        self.last_cost = math.nan
 
     def decide(self, fanout: float, rounds: int | None) -> tuple[bool, float, float, float, bool]:
         """Judge one candidate: returns ``(feasible, mean, ci_low, ci_high, decisive)``.
@@ -262,11 +300,17 @@ class _FeasibilityOracle:
         """
         self.evaluations += 1
         samples = np.empty(0, dtype=float)
+        costs = np.empty(0, dtype=float)
+        self.last_cost = math.nan
         block = self.initial_replicas
         while True:
             block = min(block, self.max_replicas - samples.size)
             seed = spawn_seeds(1, self._rng)[0]
             new = self._evaluate_batch(fanout, rounds, block, seed)
+            if isinstance(new, tuple):
+                new, cost_block = new
+                costs = np.concatenate([costs, np.asarray(cost_block, dtype=float)])
+                self.last_cost = float(costs.mean())
             self.replicas_used += block
             samples = np.concatenate([samples, np.asarray(new, dtype=float)])
             mean = float(samples.mean())
@@ -372,10 +416,12 @@ def dimension_fanout(
     target_reliability:
         Required expected fraction of nonfailed members reached, in (0, 1).
     loss:
-        Independent per-message drop probability (the loss budget).  Folded
-        into the analytic seed as effective-fanout thinning ``f(1-loss)``
-        and into the Monte-Carlo refinement through the engines' vectorised
-        :class:`~repro.simulation.network.NetworkModel` plane.
+        Independent per-message (per-leg) Bernoulli drop probability — the
+        loss budget, with the semantics fixed by :ref:`the loss contract
+        <loss-semantics>`: the Monte-Carlo refinement applies it to every
+        send through the engines' vectorised
+        :class:`~repro.simulation.network.NetworkModel` plane, while the
+        analytic seed folds it in as effective-fanout thinning ``f(1-loss)``.
     failure_model:
         Optional :class:`~repro.simulation.failures.FailureModel` overriding
         the uniform-``q`` crash draw (protocol mode only).
@@ -574,9 +620,11 @@ def dense_grid_dimension(
     Walks the fanout grid ``min, min+step, ...`` upward, spending the *full*
     replica budget at every point (a fixed-grid sweep cannot know in advance
     which points sit on the decision boundary), and returns the first grid
-    point whose Wilson lower bound clears the target.  Same decision rule
-    and same engines as :func:`dimension_fanout`, so the comparison in
-    ``BENCH_dimensioning.json`` isolates the search strategy.
+    point whose Wilson lower bound clears the target.  Same decision rule,
+    same engines, and the same per-message loss semantics
+    (:ref:`the loss contract <loss-semantics>`) as :func:`dimension_fanout`,
+    so the comparison in ``BENCH_dimensioning.json`` isolates the search
+    strategy.
     """
     n = check_integer("n", n, minimum=2)
     q = check_probability("q", q)
@@ -649,4 +697,300 @@ def dense_grid_dimension(
         evaluations=evaluations,
         feasible=False,
         certified=bool(ci_hi < target_reliability),
+    )
+
+
+def _protocol_cost_evaluator(n: int, q: float, loss: float, protocol_factory, failure_model):
+    """Return a batched-protocol sampler reporting ``(reliabilities, costs)``.
+
+    ``costs`` are per-replica payload messages per member, so the oracle's
+    ``last_cost`` after a decision is the measured bandwidth price of the
+    candidate — the objective :func:`dimension_pareto` minimises.
+    """
+
+    def evaluate(fanout: float, rounds, repetitions: int, seed):
+        protocol = protocol_factory(int(round(fanout)), int(rounds))
+        network = NetworkModel(loss_probability=loss) if loss > 0.0 else None
+        result = simulate_protocol_batch(
+            protocol,
+            n,
+            q,
+            repetitions=repetitions,
+            seed=seed,
+            failure_model=failure_model,
+            network=network,
+        )
+        return result.reliability(), result.payload_messages_per_member()
+
+    return evaluate
+
+
+def pareto_frontier(items, *, keys):
+    """Return the non-dominated subset of ``items``, minimising every key.
+
+    Parameters
+    ----------
+    items:
+        Any iterable of candidates.
+    keys:
+        Callable mapping a candidate to a tuple of objectives, **all to be
+        minimised**.  A candidate is dominated when some other candidate is
+        no worse on every objective and strictly better on at least one.
+
+    Returns
+    -------
+    list
+        The non-dominated candidates, sorted by their objective tuples (so
+        the output order is deterministic regardless of input order).
+        Duplicate objective tuples are kept once (first occurrence wins).
+
+    Examples
+    --------
+    >>> pareto_frontier([(4, 8), (5, 6), (5, 8), (6, 5)], keys=lambda p: p)
+    [(4, 8), (5, 6), (6, 5)]
+    """
+    items = list(items)
+    scored = [(tuple(keys(item)), item) for item in items]
+    frontier = []
+    seen = set()
+    for score, item in sorted(scored, key=lambda pair: pair[0]):
+        if score in seen:
+            continue
+        dominated = any(
+            all(o <= s for o, s in zip(other, score)) and other != score
+            for other, _ in scored
+        )
+        if not dominated:
+            frontier.append(item)
+            seen.add(score)
+    return frontier
+
+
+@dataclass(frozen=True)
+class ParetoCandidate:
+    """One evaluated ``(fanout, rounds)`` candidate of a Pareto solve.
+
+    Attributes
+    ----------
+    fanout:
+        Integer per-member fanout of the candidate (stored as float for
+        uniformity with :class:`DimensioningResult`).
+    rounds:
+        Round horizon of the candidate.
+    feasible:
+        Whether the Wilson lower bound cleared the target (*feasible means
+        certifiable*, exactly as in :func:`dimension_fanout`).
+    certified:
+        Whether the decision was settled by the interval itself rather than
+        by budget exhaustion.
+    achieved_reliability, ci_low, ci_high:
+        Mean replica reliability at the decision and its Wilson interval.
+    messages_per_member:
+        Measured mean payload messages per member — the bandwidth cost the
+        cost-aware objective minimises.
+    """
+
+    fanout: float
+    rounds: int
+    feasible: bool
+    certified: bool
+    achieved_reliability: float
+    ci_low: float
+    ci_high: float
+    messages_per_member: float
+
+
+@dataclass(frozen=True)
+class ParetoDimensioningResult:
+    """Joint ``(fanout, rounds)`` dimensioning: frontier + cost-aware pick.
+
+    Attributes
+    ----------
+    n, q, target_reliability, loss, confidence:
+        The problem as posed (``loss`` under :ref:`the loss contract
+        <loss-semantics>`).
+    frontier:
+        Feasible candidates non-dominated in ``(fanout, rounds)``, sorted by
+        rising fanout (hence falling rounds).  Every entry carries its
+        Wilson certificate (``ci_low >= target_reliability``).
+    best_cost:
+        The frontier candidate with the smallest measured payload messages
+        per member — the *cost-aware objective* (minimise bandwidth subject
+        to ``ci_low >= target``); ``None`` when nothing was feasible.
+    candidates:
+        Every candidate evaluated during the solve, in evaluation order
+        (the frontier is a subset of these).
+    replicas_used, evaluations:
+        Total Monte-Carlo cost of the whole solve.
+    feasible:
+        False when no ``(fanout, rounds)`` pair under the caps met the
+        target; then ``frontier`` is empty.
+    """
+
+    n: int
+    q: float
+    target_reliability: float
+    loss: float
+    confidence: float
+    frontier: tuple
+    best_cost: ParetoCandidate | None
+    candidates: tuple
+    replicas_used: int
+    evaluations: int
+    feasible: bool
+
+    def lexicographic(self) -> ParetoCandidate | None:
+        """Return the pre-Pareto answer: minimal fanout, then minimal rounds.
+
+        This is the corner of the frontier :func:`dimension_fanout` with
+        ``solve_rounds=True`` used to return, recovered for comparison.
+        """
+        if not self.frontier:
+            return None
+        return min(self.frontier, key=lambda c: (c.fanout, c.rounds))
+
+
+def dimension_pareto(
+    n: int,
+    q: float,
+    target_reliability: float,
+    *,
+    protocol_factory,
+    max_rounds: int = 8,
+    loss: float = 0.0,
+    failure_model=None,
+    confidence: float = 0.95,
+    initial_replicas: int = 24,
+    max_replicas: int = 96,
+    max_fanout: float = 64.0,
+    seed=None,
+) -> ParetoDimensioningResult:
+    """Solve the joint ``(fanout, rounds)`` dimensioning problem for a protocol.
+
+    The lexicographic answer of :func:`dimension_fanout` (minimal fanout,
+    then minimal rounds at that fanout) hides a real trade-off: a deployment
+    may prefer one extra unit of fanout to two extra rounds of latency.
+    This solver sweeps the horizon from ``max_rounds`` down to 1, finds the
+    minimal certifiable integer fanout at each horizon by bisection, and
+    returns the Pareto frontier of non-dominated feasible pairs together
+    with the cost-aware pick (minimal measured payload messages per member).
+
+    The sweep exploits two monotonicities to stay cheap:
+
+    * at a fixed horizon, reliability is monotone in fanout (bisection);
+    * the minimal fanout ``f*(r)`` is non-increasing in the horizon ``r``,
+      so ``f*(r+1) - 1`` is a *verified-infeasible* lower bracket for the
+      next horizon down, and the first horizon with no feasible fanout at
+      all ends the sweep.
+
+    Parameters
+    ----------
+    n, q, target_reliability, loss, confidence:
+        As for :func:`dimension_fanout` (``loss`` is per-message Bernoulli,
+        see :ref:`the loss contract <loss-semantics>`).
+    protocol_factory:
+        ``(fanout, rounds) -> Protocol`` builder, as in protocol mode of
+        :func:`dimension_fanout`.
+    max_rounds:
+        Largest round horizon considered (the latency cap).
+    failure_model:
+        Optional :class:`~repro.simulation.failures.FailureModel` overriding
+        the uniform-``q`` crash draw — e.g.
+        :class:`~repro.simulation.failures.TargetedCrashModel` for
+        worst-case targeted-crash dimensioning.
+    initial_replicas, max_replicas:
+        Per-decision replica budget (the cap is lifted to the Wilson
+        feasibility floor automatically, as in :func:`dimension_fanout`).
+    max_fanout:
+        Fanout cap per horizon.
+    seed:
+        Seed or generator for the whole solve.
+    """
+    n = check_integer("n", n, minimum=2)
+    q = check_probability("q", q)
+    target_reliability = check_probability(
+        "target_reliability", target_reliability, allow_zero=False, allow_one=False
+    )
+    loss = check_probability("loss", loss)
+    check_integer("max_rounds", max_rounds, minimum=1)
+    check_integer("initial_replicas", initial_replicas, minimum=2)
+    check_integer("max_replicas", max_replicas, minimum=initial_replicas)
+    rng = as_generator(seed)
+
+    z = float(stats.norm.ppf(0.5 + confidence / 2.0))
+    wilson_floor = int(math.ceil(z * z * target_reliability / (1.0 - target_reliability)))
+    max_replicas = max(max_replicas, wilson_floor + initial_replicas)
+
+    oracle = _FeasibilityOracle(
+        _protocol_cost_evaluator(n, q, loss, protocol_factory, failure_model),
+        target=target_reliability,
+        confidence=confidence,
+        initial_replicas=initial_replicas,
+        max_replicas=max_replicas,
+        rng=rng,
+    )
+
+    candidates: list[ParetoCandidate] = []
+    minimal: list[ParetoCandidate] = []  # minimal feasible fanout per horizon
+
+    def probe(fanout: int, rounds: int) -> ParetoCandidate:
+        feasible, mean, lo, hi, decisive = oracle.decide(float(fanout), rounds)
+        candidate = ParetoCandidate(
+            fanout=float(fanout),
+            rounds=int(rounds),
+            feasible=feasible,
+            certified=bool(decisive or feasible),
+            achieved_reliability=mean,
+            ci_low=lo,
+            ci_high=hi,
+            messages_per_member=oracle.last_cost,
+        )
+        candidates.append(candidate)
+        return candidate
+
+    cap = max(1, int(max_fanout))
+    lower = 0  # largest fanout verified (or implied) infeasible at the previous horizon
+    for rounds in range(max_rounds, 0, -1):
+        # Find a feasible upper bracket at this horizon, starting from the
+        # previous horizon's answer (fanouts below it stay infeasible here).
+        hi_fanout = max(lower + 1, 1)
+        best = probe(hi_fanout, rounds)
+        while not best.feasible:
+            if hi_fanout >= cap:
+                best = None
+                break
+            lower = hi_fanout
+            hi_fanout = min(cap, max(hi_fanout + 1, int(hi_fanout * 1.5)))
+            best = probe(hi_fanout, rounds)
+        if best is None:
+            break  # shorter horizons can only need more fanout than the cap
+        lo_fanout = lower
+        while hi_fanout - lo_fanout > 1:
+            mid = (lo_fanout + hi_fanout) // 2
+            candidate = probe(mid, rounds)
+            if candidate.feasible:
+                hi_fanout, best = mid, candidate
+            else:
+                lo_fanout = mid
+        minimal.append(best)
+        lower = hi_fanout - 1  # f*(r) is non-increasing in r: carry the bracket down
+
+    frontier = tuple(
+        pareto_frontier(minimal, keys=lambda c: (c.fanout, c.rounds))
+    )
+    best_cost = None
+    if frontier:
+        best_cost = min(frontier, key=lambda c: (c.messages_per_member, c.fanout, c.rounds))
+    return ParetoDimensioningResult(
+        n=n,
+        q=q,
+        target_reliability=target_reliability,
+        loss=loss,
+        confidence=confidence,
+        frontier=frontier,
+        best_cost=best_cost,
+        candidates=tuple(candidates),
+        replicas_used=oracle.replicas_used,
+        evaluations=oracle.evaluations,
+        feasible=bool(frontier),
     )

@@ -11,6 +11,12 @@ Four sub-commands cover the workflows the library supports:
 * ``repro run``        — run any registered experiment workload with a named
   scale preset (``--scale small|medium|full`` or a float factor), e.g.
   ``repro run protocol_comparison --scale small``.
+* ``repro build-surface`` — precompute a certified reliability surface
+  artifact (``.npz`` + manifest) for the serving layer.
+* ``repro query``      — answer one reliability or dimensioning question from
+  a surface artifact (microseconds instead of a fresh simulation).
+* ``repro serve``      — long-running JSON-lines loop over stdin/stdout
+  answering queries from a surface artifact.
 
 The CLI is intentionally a thin shell over the public API; every number it
 prints can be obtained programmatically from :mod:`repro`.
@@ -118,7 +124,8 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "experiment id (fig2 .. fig7, sec4_percolation_validation, "
             "protocol_comparison, loss_resilience, dimensioning, "
-            "churn_resilience, recovery_resilience, latency_profile)"
+            "churn_resilience, recovery_resilience, latency_profile, "
+            "surface_dimensioning)"
         ),
     )
     experiment.add_argument(
@@ -137,7 +144,8 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "experiment id (fig2 .. fig7, sec4_percolation_validation, "
             "protocol_comparison, loss_resilience, dimensioning, "
-            "churn_resilience, recovery_resilience, latency_profile)"
+            "churn_resilience, recovery_resilience, latency_profile, "
+            "surface_dimensioning)"
         ),
     )
     run.add_argument(
@@ -145,6 +153,86 @@ def build_parser() -> argparse.ArgumentParser:
         type=_parse_scale,
         default="full",
         help="small (0.1), medium (0.5), full (1.0), or a float factor in (0, 1]",
+    )
+
+    def _csv(cast):
+        def parse(raw: str):
+            return tuple(cast(item) for item in raw.split(",") if item.strip())
+
+        return parse
+
+    build_surface = sub.add_parser(
+        "build-surface", help="precompute a certified reliability surface artifact"
+    )
+    build_surface.add_argument("output", help="artifact path (writes <output>.npz + manifest)")
+    build_surface.add_argument(
+        "--protocol",
+        default="gossip-poisson",
+        help="surface protocol: gossip-<family> (horizon-free) or a protocol-zoo id",
+    )
+    build_surface.add_argument(
+        "--members", "-n", type=_csv(int), default=(1000,), help="group sizes, comma-separated"
+    )
+    build_surface.add_argument(
+        "--alive-ratios", "-q", type=_csv(float), default=(0.7, 0.8, 0.9, 1.0),
+        help="nonfailed ratios q, comma-separated",
+    )
+    build_surface.add_argument(
+        "--losses", type=_csv(float), default=(0.0, 0.1, 0.2),
+        help="per-message loss probabilities, comma-separated",
+    )
+    build_surface.add_argument(
+        "--fanouts", type=_csv(float), default=(1.5, 2.5, 4.0, 6.0, 9.0),
+        help="mean fanouts, comma-separated",
+    )
+    build_surface.add_argument(
+        "--rounds", type=_csv(int), default=None,
+        help="round horizons for protocol surfaces (omit for horizon-free gossip)",
+    )
+    build_surface.add_argument(
+        "--repetitions", type=int, default=96, help="Monte-Carlo replicas per cell"
+    )
+    build_surface.add_argument(
+        "--confidence", type=float, default=0.95, help="per-cell Wilson coverage"
+    )
+    build_surface.add_argument("--seed", type=int, default=0, help="RNG seed")
+    build_surface.add_argument(
+        "--processes", type=int, default=1, help="worker processes (0 = all cores)"
+    )
+
+    query = sub.add_parser(
+        "query", help="answer one question from a surface artifact (one-shot)"
+    )
+    query.add_argument("surface", help="surface artifact path (as given to build-surface)")
+    query.add_argument(
+        "--op", choices=["reliability", "dimension", "pareto", "info"],
+        default="reliability", help="question to ask",
+    )
+    query.add_argument("--members", "-n", type=int, default=None, help="group size n")
+    query.add_argument("--alive-ratio", "-q", type=float, default=None, help="nonfailed ratio q")
+    query.add_argument("--loss", type=float, default=0.0, help="per-message loss probability")
+    query.add_argument(
+        "--fanout", "-f", type=float, default=None, help="mean fanout (reliability op)"
+    )
+    query.add_argument("--rounds", type=int, default=None, help="round horizon (protocol surfaces)")
+    query.add_argument(
+        "--target", type=float, default=None, help="reliability target (dimension / pareto ops)"
+    )
+    query.add_argument(
+        "--objective", choices=["min_fanout", "min_cost"], default="min_fanout",
+        help="dimension objective",
+    )
+    query.add_argument(
+        "--live-fallback", action="store_true",
+        help="fall back to a live solve when the query is off-grid (dimension op)",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="JSON-lines query loop over stdin/stdout (see repro.serving.serve)"
+    )
+    serve.add_argument("surface", help="surface artifact path (as given to build-surface)")
+    serve.add_argument(
+        "--cache-size", type=int, default=4096, help="LRU query-cache capacity"
     )
 
     return parser
@@ -232,6 +320,68 @@ def _run_experiment(experiment_id: str, scale: float) -> int:
     return 0
 
 
+def _cmd_build_surface(args) -> int:
+    from repro.serving.surface import SurfaceGrid, build_surface
+
+    grid = SurfaceGrid(
+        ns=args.members,
+        qs=args.alive_ratios,
+        losses=args.losses,
+        fanouts=args.fanouts,
+        rounds=args.rounds if args.rounds else (0,),
+    )
+    surface = build_surface(
+        grid,
+        protocol=args.protocol,
+        repetitions=args.repetitions,
+        confidence=args.confidence,
+        seed=args.seed,
+        processes=args.processes or None,
+    )
+    npz_path, manifest_path = surface.save(args.output)
+    print(f"surface  : {surface.cells} cells x {args.repetitions} replicas ({args.protocol})")
+    print(f"arrays   : {npz_path}")
+    print(f"manifest : {manifest_path}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    import json
+
+    from repro.serving.query import SurfaceQueryEngine
+    from repro.serving.serve import handle_request
+    from repro.serving.surface import load_surface
+
+    engine = SurfaceQueryEngine(load_surface(args.surface))
+    request: dict = {"op": args.op, "loss": args.loss}
+    if args.members is not None:
+        request["n"] = args.members
+    if args.alive_ratio is not None:
+        request["q"] = args.alive_ratio
+    if args.fanout is not None:
+        request["fanout"] = args.fanout
+    if args.rounds is not None:
+        request["rounds"] = args.rounds
+    if args.target is not None:
+        request["target"] = args.target
+    if args.op == "dimension":
+        request["objective"] = args.objective
+        request["live_fallback"] = args.live_fallback
+    response = handle_request(engine, request)
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response.get("ok") else 1
+
+
+def _cmd_serve(args) -> int:
+    from repro.serving.serve import serve_loop
+    from repro.serving.surface import load_surface
+
+    surface = load_surface(args.surface)
+    served = serve_loop(surface, sys.stdin, sys.stdout, cache_size=args.cache_size)
+    print(f"served {served} requests", file=sys.stderr)
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     return _run_experiment(args.figure, args.scale)
 
@@ -250,6 +400,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         "design": _cmd_design,
         "experiment": _cmd_experiment,
         "run": _cmd_run,
+        "build-surface": _cmd_build_surface,
+        "query": _cmd_query,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -396,7 +396,13 @@ class GeometricFanout(FanoutDistribution):
 
 
 class UniformFanout(FanoutDistribution):
-    """Discrete uniform fanout on the integer range ``[low, high]`` inclusive."""
+    """Discrete uniform fanout on the integer range ``[low, high]`` inclusive.
+
+    Each member gossips to ``k`` targets with ``k`` drawn uniformly from
+    ``{low, ..., high}`` (``0 <= low <= high``); mean ``(low + high) / 2``.
+    The bounded-variance counterpoint to the heavy-tailed families in the
+    distribution ablations.
+    """
 
     name = "uniform"
 

@@ -160,7 +160,22 @@ def giant_component_size_all_nodes(dist: FanoutDistribution, q: float) -> float:
 
 
 def percolation_analysis(dist: FanoutDistribution, q: float) -> PercolationResult:
-    """Run the full percolation analysis for ``Gossip(n, P, q)``."""
+    """Run the full percolation analysis for ``Gossip(n, P, q)``.
+
+    Bundles every Sec. 4 quantity into one :class:`PercolationResult`:
+    the critical ratio (Eq. 3), whether ``(dist, q)`` is supercritical,
+    the self-consistent root ``u`` of ``u = 1 − q + q G1(u)``, the giant
+    component under both normalisations (Eq. 4: among nonfailed members
+    and among all members), and the subcritical mean component size
+    (Eq. 2, ``inf`` at or above the critical point).
+
+    Parameters
+    ----------
+    dist:
+        The fanout distribution ``P``.
+    q:
+        Nonfailed-member ratio, a probability in ``[0, 1]``.
+    """
     q = check_probability("q", q)
     qc = critical_ratio(dist)
     mean_fanout = dist.mean()

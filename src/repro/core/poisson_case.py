@@ -33,13 +33,23 @@ __all__ = [
 
 
 def poisson_critical_ratio(mean_fanout: float) -> float:
-    """Return ``q_c = 1/z`` (Eq. 10): the smallest useful nonfailed ratio."""
+    """Return ``q_c = 1/z`` (Eq. 10): the smallest useful nonfailed ratio.
+
+    Below this ratio a Poisson-``z`` gossip execution has no giant
+    component and its reliability is exactly 0; the general-distribution
+    twin is :func:`repro.core.percolation.critical_ratio` (Eq. 3).
+    """
     mean_fanout = check_positive("mean_fanout", mean_fanout)
     return 1.0 / mean_fanout
 
 
 def poisson_critical_fanout(q: float) -> float:
-    """Return the smallest mean fanout ``z_c = 1/q`` giving non-zero reliability."""
+    """Return the smallest mean fanout ``z_c = 1/q`` giving non-zero reliability.
+
+    The contrapositive reading of Eq. 10: at nonfailed ratio ``q`` (a
+    probability in ``(0, 1]``), any Poisson mean fanout at or below
+    ``1/q`` leaves the execution subcritical.
+    """
     q = check_probability("q", q, allow_zero=False)
     return 1.0 / q
 

@@ -80,7 +80,16 @@ def reliability_curve(
 
 
 def required_fanout_poisson(target_reliability: float, q: float) -> float:
-    """Return the Poisson mean fanout achieving ``target_reliability`` (Eq. 12)."""
+    """Return the Poisson mean fanout achieving ``target_reliability`` (Eq. 12).
+
+    Alias of :func:`~repro.core.poisson_case.mean_fanout_for_reliability`
+    kept under the paper's "required fanout" phrasing: inverts Eq. 11 in
+    closed form, ``z = −ln(1 − R) / (q R)``, for a target reliability in
+    ``(0, 1)`` at nonfailed ratio ``q``.  For the loss-aware and
+    Monte-Carlo-certified inverses see
+    :func:`repro.analysis.dimensioning.analytic_required_fanout` and
+    :func:`repro.analysis.dimensioning.dimension_fanout`.
+    """
     return mean_fanout_for_reliability(target_reliability, q)
 
 

@@ -49,6 +49,12 @@ from repro.experiments.recovery_resilience import (
     run_recovery_resilience,
 )
 from repro.experiments.sec4_percolation_validation import Sec4Config, Sec4Result, run_sec4
+from repro.experiments.surface_dimensioning import (
+    ServingComparisonPoint,
+    SurfaceDimensioningConfig,
+    SurfaceDimensioningResult,
+    run_surface_dimensioning,
+)
 from repro.experiments.registry import get_experiment, list_experiments
 
 __all__ = [
@@ -93,6 +99,10 @@ __all__ = [
     "RecoveryResilienceConfig",
     "RecoveryResilienceResult",
     "run_recovery_resilience",
+    "ServingComparisonPoint",
+    "SurfaceDimensioningConfig",
+    "SurfaceDimensioningResult",
+    "run_surface_dimensioning",
     "get_experiment",
     "list_experiments",
 ]

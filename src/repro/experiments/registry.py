@@ -23,6 +23,7 @@ from repro.experiments import (
     protocol_comparison,
     recovery_resilience,
     sec4_percolation_validation,
+    surface_dimensioning,
 )
 
 __all__ = ["ExperimentSpec", "get_experiment", "list_experiments"]
@@ -143,6 +144,13 @@ _REGISTRY: dict[str, ExperimentSpec] = {
         paper_reference=recovery_resilience.PAPER_REFERENCE,
         config_factory=recovery_resilience.RecoveryResilienceConfig,
         runner=recovery_resilience.run_recovery_resilience,
+        analytical_only=False,
+    ),
+    "surface_dimensioning": ExperimentSpec(
+        experiment_id="surface_dimensioning",
+        paper_reference=surface_dimensioning.PAPER_REFERENCE,
+        config_factory=surface_dimensioning.SurfaceDimensioningConfig,
+        runner=surface_dimensioning.run_surface_dimensioning,
         analytical_only=False,
     ),
 }

@@ -9,6 +9,8 @@ from repro.analysis.dimensioning import (
     analytic_required_fanout,
     dense_grid_dimension,
     dimension_fanout,
+    dimension_pareto,
+    pareto_frontier,
     wilson_interval,
 )
 from repro.core.distributions import GeometricFanout, PoissonFanout
@@ -275,3 +277,131 @@ class TestDenseGridAgreement:
             300, 0.5, 0.9, seed=17, max_fanout=1.5, conditional_on_spread=True
         )
         assert not res.feasible
+
+
+class TestParetoFrontier:
+    def test_drops_dominated_points(self):
+        frontier = pareto_frontier(
+            [(4, 8), (5, 6), (5, 8), (6, 5)], keys=lambda item: item
+        )
+        assert frontier == [(4, 8), (5, 6), (6, 5)]
+
+    def test_single_point(self):
+        assert pareto_frontier([(3, 3)], keys=lambda item: item) == [(3, 3)]
+
+    def test_deduplicates_equal_scores(self):
+        frontier = pareto_frontier(
+            [("a", 2, 2), ("b", 2, 2)], keys=lambda item: (item[1], item[2])
+        )
+        assert len(frontier) == 1
+
+    def test_empty(self):
+        assert pareto_frontier([], keys=lambda item: item) == []
+
+
+def _pbcast_factory(fanout: int, rounds: int):
+    from repro.experiments.protocol_comparison import protocol_zoo
+
+    return dict(protocol_zoo(fanout, rounds))["pbcast"]
+
+
+class TestDimensionPareto:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return dimension_pareto(
+            300, 0.9, 0.9, protocol_factory=_pbcast_factory, max_rounds=6, seed=42
+        )
+
+    def test_feasible_and_certified(self, result):
+        assert result.feasible
+        assert result.frontier
+        for candidate in result.frontier:
+            assert candidate.certified
+            assert candidate.ci_low >= 0.9
+
+    def test_frontier_non_dominated(self, result):
+        for candidate in result.frontier:
+            for other in result.frontier:
+                if other is candidate:
+                    continue
+                assert not (
+                    other.fanout <= candidate.fanout
+                    and other.rounds <= candidate.rounds
+                    and (other.fanout, other.rounds) != (candidate.fanout, candidate.rounds)
+                )
+
+    def test_frontier_is_a_staircase(self, result):
+        # Sorted by rising fanout, rounds must strictly fall.
+        fanouts = [c.fanout for c in result.frontier]
+        rounds = [c.rounds for c in result.frontier]
+        assert fanouts == sorted(fanouts)
+        assert rounds == sorted(rounds, reverse=True)
+
+    def test_cost_pick_is_cheapest(self, result):
+        assert result.best_cost is not None
+        costs = [c.messages_per_member for c in result.frontier]
+        assert result.best_cost.messages_per_member == min(costs)
+
+    def test_lexicographic_is_min_fanout_corner(self, result):
+        lex = result.lexicographic()
+        assert lex is not None
+        assert lex.fanout == min(c.fanout for c in result.frontier)
+
+    def test_infeasible_when_capped(self):
+        result = dimension_pareto(
+            200, 0.5, 0.95, protocol_factory=_pbcast_factory,
+            max_rounds=1, max_fanout=1.0, seed=43,
+        )
+        assert not result.feasible
+        assert result.frontier == ()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dimension_pareto(100, 0.9, 1.0, protocol_factory=_pbcast_factory)
+        with pytest.raises(ValueError):
+            dimension_pareto(
+                100, 0.9, 0.9, protocol_factory=_pbcast_factory, max_rounds=0
+            )
+
+
+class TestLossSemanticsContract:
+    """The documented contract: ``loss`` is per-message Bernoulli everywhere.
+
+    For Poisson fanout the two views coincide exactly (thinning a Poisson(f)
+    message stream at rate p yields Poisson(f(1-p))), which is why the
+    analytic seed may use effective fanout.  The simulated engine must agree:
+    Poisson(f) under per-message loss p == Poisson(f(1-p)) lossless.
+    """
+
+    def test_thinning_equivalence_at_quarter_loss(self):
+        from repro.simulation.gossip import simulate_gossip_batch
+        from repro.simulation.network import NetworkModel
+
+        n, p, fanout, reps = 400, 0.25, 6.0, 600
+        lossy = simulate_gossip_batch(
+            n, PoissonFanout(fanout), 0.9, repetitions=reps, seed=918,
+            network=NetworkModel(loss_probability=p),
+        )
+        thinned = simulate_gossip_batch(
+            n, PoissonFanout(fanout * (1.0 - p)), 0.9, repetitions=reps, seed=919
+        )
+        assert_means_close(
+            lossy.reliability(), thinned.reliability(), label="thinning equivalence"
+        )
+
+    def test_dimensioning_respects_thinning_at_quarter_loss(self):
+        # Both solvers certify with Wilson margin above the analytic curve,
+        # so compare them to each other: the lossy solve's *effective*
+        # fanout f(1-p) must land where the lossless solve lands.
+        clean = dimension_fanout(600, 0.9, 0.9, seed=920, conditional_on_spread=True)
+        lossy = dimension_fanout(
+            600, 0.9, 0.9, loss=0.25, seed=920, conditional_on_spread=True
+        )
+        assert clean.feasible and lossy.feasible
+        assert lossy.fanout > clean.fanout  # loss always costs fanout
+        effective = lossy.fanout * 0.75
+        # Agreement within the two bisections' tolerance plus Monte-Carlo
+        # wobble of the certifiable boundary.
+        assert abs(effective - clean.fanout) < 1.0
+        # And the documented analytic identity for the seed itself.
+        assert lossy.analytical_fanout == pytest.approx(clean.analytical_fanout / 0.75)

@@ -24,6 +24,7 @@ class TestRegistry:
             "protocol_comparison",
             "recovery_resilience",
             "sec4_percolation_validation",
+            "surface_dimensioning",
         ]
 
     def test_analytical_flags(self):

@@ -1,0 +1,107 @@
+"""Tests of the served-vs-live surface dimensioning experiment driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import get_experiment
+from repro.experiments.surface_dimensioning import (
+    SurfaceDimensioningConfig,
+    run_surface_dimensioning,
+)
+
+
+def tiny_config(**overrides) -> SurfaceDimensioningConfig:
+    defaults = dict(
+        n=250,
+        grid_qs=(0.8, 0.9, 1.0),
+        grid_losses=(0.0, 0.1),
+        grid_fanouts=(2.0, 4.0, 8.0, 14.0),
+        targets=(0.85,),
+        held_out_qs=(0.85,),
+        held_out_losses=(0.05,),
+        query_repeats=5,
+        pareto_n=200,
+        targeted_n=200,
+        seed=777,
+    )
+    defaults.update(overrides)
+    return SurfaceDimensioningConfig(**defaults)
+
+
+class TestConfig:
+    def test_defaults_validate(self):
+        config = SurfaceDimensioningConfig()
+        assert config.n == 1000
+        assert config.repetitions == 96
+
+    def test_registered(self):
+        spec = get_experiment("surface_dimensioning")
+        assert spec.config_factory is SurfaceDimensioningConfig
+        assert not spec.analytical_only
+
+    def test_wilson_floor_enforced(self):
+        # 96 replicas cannot certify a 0.99 target at 95% confidence.
+        with pytest.raises(ValueError, match="Wilson"):
+            tiny_config(targets=(0.99,))
+
+    def test_held_out_must_be_spanned(self):
+        with pytest.raises(ValueError, match="outside the surface span"):
+            tiny_config(held_out_qs=(0.5,))
+        with pytest.raises(ValueError, match="outside the surface span"):
+            tiny_config(held_out_losses=(0.5,))
+
+    def test_with_scale_preserves_replica_budget(self):
+        config = SurfaceDimensioningConfig()
+        scaled = config.with_scale(0.1)
+        assert scaled.n < config.n
+        assert scaled.repetitions == config.repetitions
+        assert len(scaled.held_out_qs) == 1
+        assert config.with_scale(1.0) == config
+        with pytest.raises(ValueError):
+            config.with_scale(0.0)
+
+
+class TestRunSurfaceDimensioning:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_surface_dimensioning(tiny_config())
+
+    def test_all_points_served_from_surface(self, result):
+        assert result.points
+        for point in result.points:
+            assert point.served_source == "surface"
+            assert point.served_ci_low >= point.target_reliability
+
+    def test_served_agrees_with_live(self, result):
+        for point in result.points:
+            assert point.agree
+
+    def test_speedup_is_massive(self, result):
+        assert result.median_speedup() >= 1e3
+
+    def test_pareto_section(self, result):
+        assert result.pareto_frontier
+        assert result.pareto_best_cost is not None
+
+    def test_targeted_matches_uniform(self, result):
+        assert abs(result.targeted_fanout - result.uniform_fanout) <= 2.0
+
+    def test_check_shape_clean(self, result):
+        assert result.check_shape() == []
+
+    def test_table_renders(self, result):
+        table = result.to_table()
+        assert "speedup" in table
+        assert "Pareto frontier" in table
+        assert "targeted-crash" in table
+
+    def test_deterministic(self, result):
+        again = run_surface_dimensioning(tiny_config())
+        assert [p.served_fanout for p in again.points] == [
+            p.served_fanout for p in result.points
+        ]
+        assert [p.live_fanout for p in again.points] == [
+            p.live_fanout for p in result.points
+        ]
+        assert again.targeted_fanout == result.targeted_fanout

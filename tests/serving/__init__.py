@@ -1,0 +1,1 @@
+"""Tests of the serving subsystem (repro.serving)."""

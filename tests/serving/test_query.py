@@ -1,0 +1,247 @@
+"""Tests of interpolated serving: conservatism, caching, inverse queries."""
+
+from __future__ import annotations
+
+import math
+from itertools import product
+
+import pytest
+
+from repro.serving.query import (
+    LRUCache,
+    SurfaceCoverageError,
+    SurfaceQueryEngine,
+    dimension_from_surface,
+    pareto_from_surface,
+)
+from repro.serving.surface import SurfaceGrid, build_surface
+
+SEED = 20080149
+
+
+@pytest.fixture(scope="module")
+def surface():
+    return build_surface(
+        SurfaceGrid(
+            ns=(128,),
+            qs=(0.7, 0.85, 1.0),
+            losses=(0.0, 0.2),
+            fanouts=(1.5, 3.0, 6.0, 10.0),
+        ),
+        repetitions=32,
+        seed=SEED,
+    )
+
+
+@pytest.fixture(scope="module")
+def protocol_surface():
+    return build_surface(
+        SurfaceGrid(ns=(96,), qs=(0.8, 1.0), losses=(0.0,), fanouts=(2.0, 4.0, 7.0),
+                    rounds=(2, 4, 6)),
+        protocol="pbcast",
+        repetitions=32,
+        seed=SEED,
+    )
+
+
+def fresh_engine(surface, **kwargs) -> SurfaceQueryEngine:
+    return SurfaceQueryEngine(surface, **kwargs)
+
+
+class TestLRUCache:
+    def test_eviction_is_deterministic(self):
+        cache = LRUCache(3)
+        for key in "abc":
+            cache.put(key, key.upper())
+        assert cache.keys() == ("a", "b", "c")
+        cache.get("a")  # refresh: "b" is now the oldest
+        cache.put("d", "D")
+        assert cache.keys() == ("c", "a", "d")
+        assert cache.get("b") is None
+        assert cache.info() == {
+            "capacity": 3, "size": 3, "hits": 1, "misses": 1, "evictions": 1,
+        }
+
+    def test_put_refreshes_existing_key(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not insert: no eviction
+        cache.put("c", 3)  # evicts "b"
+        assert cache.keys() == ("a", "c")
+        assert cache.get("a") == 10
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+class TestInterpolation:
+    def test_exact_hit_returns_cell(self, surface):
+        engine = fresh_engine(surface)
+        answer = engine.query(n=128, q=0.85, loss=0.2, fanout=3.0)
+        assert answer.exact
+        index = (0, 1, 1, 1, 0)
+        assert answer.reliability == pytest.approx(float(surface.mean[index]))
+        assert answer.ci_low == pytest.approx(float(surface.ci_low[index]))
+        assert answer.cost == pytest.approx(float(surface.cost[index]))
+
+    def test_certificate_is_conservative(self, surface):
+        """Served ci_low <= every enclosing corner's ci_low (and dually ci_high)."""
+        engine = fresh_engine(surface)
+        answer = engine.query(n=128, q=0.9, loss=0.1, fanout=4.5)
+        assert not answer.exact
+        # q=0.9 in (0.85, 1.0), loss=0.1 in (0.0, 0.2), fanout=4.5 in (3.0, 6.0)
+        corners = list(product([1, 2], [0, 1], [1, 2]))
+        corner_lows = [float(surface.ci_low[0, qi, li, fi, 0]) for qi, li, fi in corners]
+        corner_highs = [float(surface.ci_high[0, qi, li, fi, 0]) for qi, li, fi in corners]
+        corner_means = [float(surface.mean[0, qi, li, fi, 0]) for qi, li, fi in corners]
+        assert answer.ci_low == pytest.approx(min(corner_lows))
+        assert answer.ci_high == pytest.approx(max(corner_highs))
+        assert min(corner_means) - 1e-12 <= answer.reliability <= max(corner_means) + 1e-12
+        assert answer.ci_low <= answer.reliability <= answer.ci_high
+
+    def test_interpolation_matches_hand_weights(self, surface):
+        engine = fresh_engine(surface)
+        answer = engine.query(n=128, q=0.85, loss=0.0, fanout=4.5)  # only fanout off-knot
+        w = (4.5 - 3.0) / (6.0 - 3.0)
+        expected = (1 - w) * float(surface.mean[0, 1, 0, 1, 0]) + w * float(
+            surface.mean[0, 1, 0, 2, 0]
+        )
+        assert answer.reliability == pytest.approx(expected)
+
+    def test_off_grid_raises(self, surface):
+        engine = fresh_engine(surface)
+        with pytest.raises(SurfaceCoverageError):
+            engine.query(n=128, q=0.5, loss=0.0, fanout=3.0)
+        with pytest.raises(SurfaceCoverageError):
+            engine.query(n=128, q=0.9, loss=0.0, fanout=12.0)
+        assert not engine.covers(n=256, q=0.9, loss=0.0, fanout=3.0)
+        assert engine.covers(n=128, q=0.9, loss=0.0, fanout=3.0)
+
+    def test_query_caching(self, surface):
+        engine = fresh_engine(surface, cache_size=8)
+        first = engine.query(n=128, q=0.9, loss=0.1, fanout=4.0)
+        second = engine.query(n=128, q=0.9, loss=0.1, fanout=4.0)
+        assert first is second
+        info = engine.cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+
+    def test_protocol_surface_rounds_default(self, protocol_surface):
+        engine = fresh_engine(protocol_surface)
+        assert not engine.horizon_free
+        answer = engine.query(n=96, q=0.9, loss=0.0, fanout=4.0)
+        assert answer.rounds == 6  # defaults to the largest horizon
+        shorter = engine.query(n=96, q=0.9, loss=0.0, fanout=4.0, rounds=2)
+        assert shorter.rounds == 2
+
+
+class TestDimensionFromSurface:
+    def test_min_fanout_objective(self, surface):
+        engine = fresh_engine(surface)
+        answer = dimension_from_surface(
+            engine, n=128, q=0.9, target_reliability=0.6, loss=0.0,
+            allow_live_fallback=False,
+        )
+        assert answer.source == "surface"
+        assert answer.feasible
+        assert answer.ci_low >= 0.6
+        assert answer.fanout in surface.grid.fanouts
+        # Minimality: no smaller grid fanout certifies.
+        for fanout in surface.grid.fanouts:
+            if fanout < answer.fanout:
+                served = engine.query(n=128, q=0.9, loss=0.0, fanout=fanout)
+                assert served.ci_low < 0.6
+
+    def test_min_cost_objective_never_costlier(self, surface):
+        engine = fresh_engine(surface)
+        by_fanout = dimension_from_surface(
+            engine, n=128, q=0.9, target_reliability=0.6, loss=0.0,
+            objective="min_fanout", allow_live_fallback=False,
+        )
+        by_cost = dimension_from_surface(
+            engine, n=128, q=0.9, target_reliability=0.6, loss=0.0,
+            objective="min_cost", allow_live_fallback=False,
+        )
+        assert by_cost.feasible
+        assert by_cost.ci_low >= 0.6
+        assert by_cost.cost <= by_fanout.cost + 1e-12
+
+    def test_invalid_objective_rejected(self, surface):
+        with pytest.raises(ValueError):
+            dimension_from_surface(
+                fresh_engine(surface), n=128, q=0.9, target_reliability=0.6,
+                objective="min_regret",
+            )
+
+    def test_no_fallback_returns_infeasible(self, surface):
+        engine = fresh_engine(surface)
+        answer = dimension_from_surface(
+            engine, n=128, q=0.9, target_reliability=0.999, loss=0.2,
+            allow_live_fallback=False,
+        )
+        assert not answer.feasible
+        assert answer.source == "surface"
+        assert math.isnan(answer.achieved_reliability)
+        assert answer.fanout == surface.grid.fanouts[-1]
+
+    def test_live_fallback_invoked_off_grid(self, surface):
+        calls = {}
+
+        def stub_solver(n, q, target, **kwargs):
+            calls.update(n=n, q=q, target=target, **kwargs)
+
+            class Live:
+                fanout = 7.5
+                rounds = None
+                achieved_reliability = 0.97
+                ci_low = 0.95
+                ci_high = 0.99
+                feasible = True
+
+            return Live()
+
+        engine = fresh_engine(surface)
+        answer = dimension_from_surface(
+            engine, n=128, q=0.5, target_reliability=0.9,  # q off-grid
+            live_solver=stub_solver, seed=7,
+        )
+        assert answer.source == "live"
+        assert answer.fanout == 7.5
+        assert answer.feasible
+        assert math.isnan(answer.cost)
+        assert calls["q"] == 0.5 and calls["seed"] == 7
+        # Gossip surfaces forward their spread-conditioning to the live solve.
+        assert calls["conditional_on_spread"] is True
+
+    def test_surface_path_never_simulates(self, surface):
+        def exploding_solver(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("live solver must not be called on-grid")
+
+        answer = dimension_from_surface(
+            fresh_engine(surface), n=128, q=0.85, target_reliability=0.6,
+            live_solver=exploding_solver,
+        )
+        assert answer.source == "surface"
+
+
+class TestParetoFromSurface:
+    def test_frontier_certified_and_non_dominated(self, protocol_surface):
+        engine = fresh_engine(protocol_surface)
+        frontier = pareto_from_surface(engine, n=96, q=0.9, target_reliability=0.6)
+        assert frontier
+        for candidate in frontier:
+            assert candidate.ci_low >= 0.6
+            for other in frontier:
+                if other is candidate:
+                    continue
+                dominates = (
+                    other.fanout <= candidate.fanout
+                    and other.rounds <= candidate.rounds
+                    and (other.fanout, other.rounds) != (candidate.fanout, candidate.rounds)
+                )
+                assert not dominates
+
+    def test_empty_when_nothing_certifies(self, protocol_surface):
+        engine = fresh_engine(protocol_surface)
+        assert pareto_from_surface(engine, n=96, q=0.9, target_reliability=0.9999) == ()

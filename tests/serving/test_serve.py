@@ -1,0 +1,145 @@
+"""Tests of the JSON-lines serving loop and of the serving doctests."""
+
+from __future__ import annotations
+
+import doctest
+import io
+import json
+
+import pytest
+
+import repro.serving.query
+import repro.serving.serve
+import repro.serving.surface
+from repro.serving.query import SurfaceQueryEngine
+from repro.serving.serve import handle_request, serve_loop
+from repro.serving.surface import SurfaceGrid, build_surface
+
+SEED = 20080149
+
+
+@pytest.fixture(scope="module")
+def surface():
+    return build_surface(
+        SurfaceGrid(ns=(64,), qs=(0.8, 1.0), losses=(0.0, 0.2), fanouts=(2.0, 5.0, 9.0)),
+        repetitions=24,
+        seed=SEED,
+    )
+
+
+@pytest.fixture
+def engine(surface) -> SurfaceQueryEngine:
+    return SurfaceQueryEngine(surface)
+
+
+class TestHandleRequest:
+    def test_reliability(self, engine):
+        response = handle_request(
+            engine, {"op": "reliability", "q": 0.9, "loss": 0.1, "fanout": 4.0}
+        )
+        assert response["ok"]
+        assert 0.0 <= response["ci_low"] <= response["reliability"] <= response["ci_high"] <= 1.0
+        assert response["n"] == 64  # single-n surface: n may be omitted
+
+    def test_dimension(self, engine):
+        response = handle_request(engine, {"op": "dimension", "q": 0.9, "target": 0.6})
+        assert response["ok"]
+        assert response["source"] == "surface"
+        assert response["ci_low"] >= 0.6
+
+    def test_pareto(self, engine):
+        response = handle_request(engine, {"op": "pareto", "q": 0.9, "target": 0.6})
+        assert response["ok"]
+        assert isinstance(response["frontier"], list)
+
+    def test_info(self, engine):
+        response = handle_request(engine, {"op": "info"})
+        assert response["ok"]
+        assert response["manifest"]["protocol"] == "gossip-poisson"
+        assert "hits" in response["cache"]
+
+    def test_id_echoed(self, engine):
+        ok = handle_request(engine, {"op": "info", "id": "req-1"})
+        assert ok["id"] == "req-1"
+        bad = handle_request(engine, {"op": "nope", "id": 2})
+        assert not bad["ok"] and bad["id"] == 2
+
+    def test_unknown_op(self, engine):
+        response = handle_request(engine, {"op": "teleport"})
+        assert not response["ok"]
+        assert "teleport" in response["error"]
+
+    def test_missing_field(self, engine):
+        response = handle_request(engine, {"op": "reliability", "q": 0.9})
+        assert not response["ok"]
+        assert "fanout" in response["error"]
+
+    def test_off_grid_is_an_error_not_a_crash(self, engine):
+        response = handle_request(
+            engine, {"op": "reliability", "q": 0.5, "loss": 0.0, "fanout": 4.0}
+        )
+        assert not response["ok"]
+
+    def test_non_object_request(self, engine):
+        assert not handle_request(engine, [1, 2, 3])["ok"]
+
+    def test_responses_are_json_serialisable(self, engine):
+        # NaN cost (infeasible, no fallback) must not produce invalid JSON.
+        response = handle_request(
+            engine, {"op": "dimension", "q": 0.8, "loss": 0.2, "target": 0.99999}
+        )
+        text = json.dumps(response, allow_nan=False)
+        assert json.loads(text)["feasible"] is False
+
+
+class TestServeLoop:
+    def run_loop(self, surface, lines) -> tuple:
+        out = io.StringIO()
+        served = serve_loop(surface, io.StringIO(lines), out)
+        responses = [json.loads(line) for line in out.getvalue().splitlines()]
+        return served, responses
+
+    def test_answers_each_line(self, surface):
+        served, responses = self.run_loop(
+            surface,
+            '{"op": "reliability", "q": 0.9, "loss": 0.0, "fanout": 4}\n'
+            '{"op": "dimension", "q": 0.9, "target": 0.6}\n',
+        )
+        assert served == 2
+        assert all(r["ok"] for r in responses)
+
+    def test_blank_lines_skipped_and_bad_json_survives(self, surface):
+        served, responses = self.run_loop(
+            surface,
+            '\n   \n{not json}\n{"op": "info"}\n',
+        )
+        assert served == 2
+        assert not responses[0]["ok"]
+        assert "invalid JSON" in responses[0]["error"]
+        assert responses[1]["ok"]
+
+    def test_shutdown_stops_the_loop(self, surface):
+        served, responses = self.run_loop(
+            surface,
+            '{"op": "shutdown"}\n{"op": "info"}\n',
+        )
+        assert served == 1
+        assert responses[0]["shutdown"] is True
+
+
+class TestServingDoctests:
+    """Run the serving layer's docstring examples as part of tier-1.
+
+    CI additionally runs ``pytest --doctest-modules src/repro/serving``;
+    this keeps the examples honest even under the plain test command.
+    """
+
+    @pytest.mark.parametrize(
+        "module",
+        [repro.serving.surface, repro.serving.query, repro.serving.serve],
+        ids=lambda m: m.__name__,
+    )
+    def test_doctests_pass(self, module):
+        result = doctest.testmod(module, verbose=False)
+        assert result.attempted > 0
+        assert result.failed == 0

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Check that relative links in the repository's markdown docs resolve.
+
+Scans ``README.md``, ``docs/*.md``, and the other top-level markdown files
+for inline markdown links (``[text](target)``) and verifies that every
+relative target exists in the working tree.  External links (``http(s)://``,
+``mailto:``) are skipped — CI must not depend on the network — and pure
+in-page anchors (``#section``) are checked against the headings of the file
+that contains them.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per broken
+link).  Run from the repository root: ``python tools/check_docs_links.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links, non-greedy so adjacent links don't merge.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: ATX headings, for anchor validation.
+HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_anchor(heading: str) -> str:
+    """Return the GitHub-style anchor slug of one heading text."""
+    heading = re.sub(r"[`*_]", "", heading.strip().lower())
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def collect_markdown_files(root: Path) -> list:
+    """Return the markdown files to scan: top-level ``*.md`` plus ``docs/``."""
+    files = sorted(root.glob("*.md"))
+    docs = root / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.rglob("*.md")))
+    benchmarks = root / "benchmarks"
+    if benchmarks.is_dir():
+        files.extend(sorted(benchmarks.rglob("*.md")))
+    return files
+
+
+def check_file(path: Path, root: Path) -> list:
+    """Return the broken links of one markdown file as problem strings."""
+    text = path.read_text(encoding="utf-8")
+    anchors = {github_anchor(h) for h in HEADING_PATTERN.findall(text)}
+    problems = []
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        if not base:
+            if fragment and github_anchor(fragment) not in anchors:
+                problems.append(f"{path.relative_to(root)}: broken anchor #{fragment}")
+            continue
+        resolved = (path.parent / base).resolve()
+        if not resolved.exists():
+            problems.append(f"{path.relative_to(root)}: broken link {target}")
+    return problems
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parents[1]
+    files = collect_markdown_files(root)
+    problems = []
+    for path in files:
+        problems.extend(check_file(path, root))
+    print(f"checked {len(files)} markdown file(s)")
+    if problems:
+        for problem in problems:
+            print(f"  BROKEN: {problem}")
+        return 1
+    print("all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
