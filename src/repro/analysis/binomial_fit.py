@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 from scipy import stats
 
 from repro.core.success import success_count_pmf
@@ -49,7 +50,9 @@ class BinomialFit:
     absolute_difference: float
 
 
-def fit_binomial(counts, executions: int, reference_probability: float) -> BinomialFit:
+def fit_binomial(
+    counts: npt.ArrayLike, executions: int, reference_probability: float
+) -> BinomialFit:
     """Fit a Binomial success probability to observed counts and compare to a reference."""
     executions = check_integer("executions", executions, minimum=1)
     reference_probability = check_probability("reference_probability", reference_probability)
@@ -86,7 +89,7 @@ class ChiSquareResult:
 
 
 def chi_square_binomial_test(
-    counts,
+    counts: npt.ArrayLike,
     executions: int,
     probability: float,
     *,
@@ -126,13 +129,15 @@ def chi_square_binomial_test(
     )
 
 
-def _pool_bins(observed: np.ndarray, expected: np.ndarray, min_expected: float):
+def _pool_bins(
+    observed: np.ndarray, expected: np.ndarray, min_expected: float
+) -> tuple[np.ndarray, np.ndarray]:
     """Pool adjacent low-expectation bins from the left tail into their right neighbour."""
     obs: list[float] = []
     exp: list[float] = []
     acc_obs = 0.0
     acc_exp = 0.0
-    for o, e in zip(observed, expected):
+    for o, e in zip(observed, expected, strict=True):
         acc_obs += float(o)
         acc_exp += float(e)
         if acc_exp >= min_expected:

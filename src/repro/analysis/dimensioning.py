@@ -78,7 +78,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterable, Sequence, TypeAlias, TypeVar
 
 import numpy as np
 from scipy import stats
@@ -86,11 +86,24 @@ from scipy import stats
 from repro.core.distributions import FanoutDistribution, PoissonFanout
 from repro.core.poisson_case import mean_fanout_for_reliability
 from repro.core.reliability import reliability as analytical_reliability
+from repro.protocols.base import Protocol
+from repro.simulation.failures import FailureModel
 from repro.simulation.gossip import simulate_gossip_batch
 from repro.simulation.network import NetworkModel
 from repro.simulation.protocol_batch import simulate_protocol_batch
-from repro.utils.rng import as_generator, spawn_seeds
+from repro.utils.rng import SeedLike, as_generator, spawn_seeds
 from repro.utils.validation import check_integer, check_probability
+
+_T = TypeVar("_T")
+
+#: Oracle sampler: ``(fanout, rounds, repetitions, seed)`` to per-replica
+#: reliabilities, optionally paired with per-replica per-member costs.
+_EvaluateBatch: TypeAlias = (
+    "Callable[[float, int | None, int, SeedLike], np.ndarray | tuple[np.ndarray, np.ndarray]]"
+)
+
+#: Protocol-mode candidate builder: ``(fanout, rounds)`` to a protocol.
+_ProtocolFactory: TypeAlias = "Callable[[int, int], Protocol]"
 
 __all__ = [
     "wilson_interval",
@@ -260,14 +273,14 @@ class _FeasibilityOracle:
 
     def __init__(
         self,
-        evaluate_batch,  # (fanout, rounds, repetitions, seed) -> (R,) reliabilities
+        evaluate_batch: _EvaluateBatch,  # (fanout, rounds, repetitions, seed) -> (R,) reliabilities
         *,               # ... or ((R,) reliabilities, (R,) per-member costs)
         target: float,
         confidence: float,
         initial_replicas: int,
         max_replicas: int,
         rng: np.random.Generator,
-    ):
+    ) -> None:
         self._evaluate_batch = evaluate_batch
         self.target = target
         self.confidence = confidence
@@ -330,10 +343,12 @@ def _gossip_evaluator(
     loss: float,
     distribution_factory: Callable[[float], FanoutDistribution],
     conditional_on_spread: bool,
-):
+) -> _EvaluateBatch:
     """Return the batched-gossip-engine reliability sampler for the oracle."""
 
-    def evaluate(fanout: float, rounds, repetitions: int, seed) -> np.ndarray:
+    def evaluate(
+        fanout: float, rounds: int | None, repetitions: int, seed: SeedLike
+    ) -> np.ndarray:
         network = NetworkModel(loss_probability=loss) if loss > 0.0 else None
         result = simulate_gossip_batch(
             n,
@@ -356,10 +371,19 @@ def _gossip_evaluator(
     return evaluate
 
 
-def _protocol_evaluator(n: int, q: float, loss: float, protocol_factory, failure_model):
+def _protocol_evaluator(
+    n: int,
+    q: float,
+    loss: float,
+    protocol_factory: _ProtocolFactory,
+    failure_model: FailureModel | None,
+) -> _EvaluateBatch:
     """Return the batched-protocol-engine reliability sampler for the oracle."""
 
-    def evaluate(fanout: float, rounds, repetitions: int, seed) -> np.ndarray:
+    def evaluate(
+        fanout: float, rounds: int | None, repetitions: int, seed: SeedLike
+    ) -> np.ndarray:
+        assert rounds is not None  # protocol mode always carries a horizon
         protocol = protocol_factory(int(round(fanout)), int(rounds))
         network = NetworkModel(loss_probability=loss) if loss > 0.0 else None
         result = simulate_protocol_batch(
@@ -383,17 +407,17 @@ def dimension_fanout(
     *,
     loss: float = 0.0,
     distribution_factory: Callable[[float], FanoutDistribution] = PoissonFanout,
-    protocol_factory=None,
+    protocol_factory: _ProtocolFactory | None = None,
     rounds: int = 8,
     solve_rounds: bool = False,
-    failure_model=None,
+    failure_model: FailureModel | None = None,
     confidence: float = 0.95,
     fanout_tol: float = 0.25,
     initial_replicas: int = 24,
     max_replicas: int = 96,
     max_fanout: float = 64.0,
     conditional_on_spread: bool = False,
-    seed=None,
+    seed: SeedLike = None,
 ) -> DimensioningResult:
     """Return the minimal mean fanout meeting a reliability target.
 
@@ -613,7 +637,7 @@ def dense_grid_dimension(
     replicas_per_point: int = 192,
     max_fanout: float = 64.0,
     conditional_on_spread: bool = False,
-    seed=None,
+    seed: SeedLike = None,
 ) -> DimensioningResult:
     """Naive dense-grid inverse: the benchmark reference for the solver.
 
@@ -700,7 +724,13 @@ def dense_grid_dimension(
     )
 
 
-def _protocol_cost_evaluator(n: int, q: float, loss: float, protocol_factory, failure_model):
+def _protocol_cost_evaluator(
+    n: int,
+    q: float,
+    loss: float,
+    protocol_factory: _ProtocolFactory,
+    failure_model: FailureModel | None,
+) -> _EvaluateBatch:
     """Return a batched-protocol sampler reporting ``(reliabilities, costs)``.
 
     ``costs`` are per-replica payload messages per member, so the oracle's
@@ -708,7 +738,10 @@ def _protocol_cost_evaluator(n: int, q: float, loss: float, protocol_factory, fa
     candidate — the objective :func:`dimension_pareto` minimises.
     """
 
-    def evaluate(fanout: float, rounds, repetitions: int, seed):
+    def evaluate(
+        fanout: float, rounds: int | None, repetitions: int, seed: SeedLike
+    ) -> tuple[np.ndarray, np.ndarray]:
+        assert rounds is not None  # Pareto solves always carry a horizon
         protocol = protocol_factory(int(round(fanout)), int(rounds))
         network = NetworkModel(loss_probability=loss) if loss > 0.0 else None
         result = simulate_protocol_batch(
@@ -725,7 +758,7 @@ def _protocol_cost_evaluator(n: int, q: float, loss: float, protocol_factory, fa
     return evaluate
 
 
-def pareto_frontier(items, *, keys):
+def pareto_frontier(items: Iterable[_T], *, keys: Callable[[_T], Sequence[float]]) -> list[_T]:
     """Return the non-dominated subset of ``items``, minimising every key.
 
     Parameters
@@ -751,13 +784,13 @@ def pareto_frontier(items, *, keys):
     """
     items = list(items)
     scored = [(tuple(keys(item)), item) for item in items]
-    frontier = []
-    seen = set()
+    frontier: list[_T] = []
+    seen: set[tuple[float, ...]] = set()
     for score, item in sorted(scored, key=lambda pair: pair[0]):
         if score in seen:
             continue
         dominated = any(
-            all(o <= s for o, s in zip(other, score)) and other != score
+            all(o <= s for o, s in zip(other, score, strict=True)) and other != score
             for other, _ in scored
         )
         if not dominated:
@@ -855,15 +888,15 @@ def dimension_pareto(
     q: float,
     target_reliability: float,
     *,
-    protocol_factory,
+    protocol_factory: _ProtocolFactory,
     max_rounds: int = 8,
     loss: float = 0.0,
-    failure_model=None,
+    failure_model: FailureModel | None = None,
     confidence: float = 0.95,
     initial_replicas: int = 24,
     max_replicas: int = 96,
     max_fanout: float = 64.0,
-    seed=None,
+    seed: SeedLike = None,
 ) -> ParetoDimensioningResult:
     """Solve the joint ``(fanout, rounds)`` dimensioning problem for a protocol.
 

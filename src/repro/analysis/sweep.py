@@ -23,7 +23,7 @@ from repro.core.distributions import (
 from repro.core.percolation import critical_ratio
 from repro.core.reliability import reliability as analytical_reliability
 from repro.simulation.runner import estimate_reliability
-from repro.utils.rng import as_generator
+from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_integer, check_probability
 
 __all__ = ["DistributionSweep", "distribution_ablation", "default_distribution_families"]
@@ -115,7 +115,7 @@ def distribution_ablation(
     *,
     families: Mapping[str, FanoutDistribution] | None = None,
     repetitions: int = 10,
-    seed=None,
+    seed: SeedLike = None,
 ) -> DistributionSweep:
     """Compare reliability across distribution families at a common mean fanout.
 

@@ -7,6 +7,8 @@ benchmarks, examples, and EXPERIMENTS.md all show identical formatting.
 
 from __future__ import annotations
 
+from typing import Any, Iterable
+
 import numpy as np
 
 from repro.analysis.compare import SeriesComparison
@@ -92,7 +94,7 @@ def distribution_sweep_to_table(sweep: DistributionSweep, *, precision: int = 4)
     return format_table(headers, rows, precision=precision)
 
 
-def latency_to_table(points, *, precision: int = 4) -> str:
+def latency_to_table(points: Iterable[Any], *, precision: int = 4) -> str:
     """Render latency-profile cells as one row per ``(protocol, latency, loss)``.
 
     ``points`` is any iterable of objects with the
@@ -115,7 +117,7 @@ def latency_to_table(points, *, precision: int = 4) -> str:
     return format_table(headers, rows, precision=precision)
 
 
-def dimensioning_to_table(points, *, precision: int = 4) -> str:
+def dimensioning_to_table(points: Iterable[Any], *, precision: int = 4) -> str:
     """Render auto-dimensioning cells as one row per solved cell.
 
     ``points`` is any iterable of objects with the

@@ -26,7 +26,9 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from typing import Callable, Sequence, TypeVar
+
+_T = TypeVar("_T")
 
 from repro.core.distributions import FanoutDistribution, PoissonFanout
 from repro.core.model import GossipModel
@@ -155,8 +157,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="small (0.1), medium (0.5), full (1.0), or a float factor in (0, 1]",
     )
 
-    def _csv(cast):
-        def parse(raw: str):
+    def _csv(cast: Callable[[str], _T]) -> Callable[[str], tuple[_T, ...]]:
+        def parse(raw: str) -> tuple[_T, ...]:
             return tuple(cast(item) for item in raw.split(",") if item.strip())
 
         return parse
@@ -238,7 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_analyze(args) -> int:
+def _cmd_analyze(args: argparse.Namespace) -> int:
     dist = _make_distribution(args.family, args.fanout)
     model = GossipModel(n=args.members, distribution=dist, q=args.alive_ratio)
     reliability = model.reliability()
@@ -253,7 +255,7 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
-def _cmd_simulate(args) -> int:
+def _cmd_simulate(args: argparse.Namespace) -> int:
     dist = _make_distribution(args.family, args.fanout)
     model = GossipModel(n=args.members, distribution=dist, q=args.alive_ratio)
     from repro.simulation.runner import estimate_reliability
@@ -274,7 +276,7 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
-def _cmd_design(args) -> int:
+def _cmd_design(args: argparse.Namespace) -> int:
     q = 1.0 - args.max_failed
     fanout = mean_fanout_for_reliability(args.reliability, q)
     repeats = min_executions(args.success_target, args.reliability)
@@ -320,7 +322,7 @@ def _run_experiment(experiment_id: str, scale: float) -> int:
     return 0
 
 
-def _cmd_build_surface(args) -> int:
+def _cmd_build_surface(args: argparse.Namespace) -> int:
     from repro.serving.surface import SurfaceGrid, build_surface
 
     grid = SurfaceGrid(
@@ -345,7 +347,7 @@ def _cmd_build_surface(args) -> int:
     return 0
 
 
-def _cmd_query(args) -> int:
+def _cmd_query(args: argparse.Namespace) -> int:
     import json
 
     from repro.serving.query import SurfaceQueryEngine
@@ -372,7 +374,7 @@ def _cmd_query(args) -> int:
     return 0 if response.get("ok") else 1
 
 
-def _cmd_serve(args) -> int:
+def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving.serve import serve_loop
     from repro.serving.surface import load_surface
 
@@ -382,11 +384,11 @@ def _cmd_serve(args) -> int:
     return 0
 
 
-def _cmd_experiment(args) -> int:
+def _cmd_experiment(args: argparse.Namespace) -> int:
     return _run_experiment(args.figure, args.scale)
 
 
-def _cmd_run(args) -> int:
+def _cmd_run(args: argparse.Namespace) -> int:
     return _run_experiment(args.experiment, args.scale)
 
 

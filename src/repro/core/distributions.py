@@ -32,7 +32,7 @@ from typing import Sequence
 import numpy as np
 from scipy import stats
 
-from repro.utils.rng import as_generator
+from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import (
     check_integer,
     check_non_negative,
@@ -115,7 +115,7 @@ class FanoutDistribution(ABC):
 
     # ----------------------------------------------------------- sampling
     @abstractmethod
-    def sample(self, size: int | tuple[int, ...], seed=None) -> np.ndarray:
+    def sample(self, size: int | tuple[int, ...], seed: SeedLike = None) -> np.ndarray:
         """Draw fanout values as an ``int64`` array of shape ``size``.
 
         ``size`` may be a scalar count (the batched engine draws one flat
@@ -125,26 +125,26 @@ class FanoutDistribution(ABC):
         """
 
     # ----------------------------------------------- generating functions
-    def g0(self, x) -> np.ndarray | float:
+    def g0(self, x: float | np.ndarray) -> np.ndarray | float:
         """Evaluate the degree generating function ``G0(x) = Σ p_k x^k``."""
         pmf = self.pmf_array()
         return _poly_eval(pmf, x)
 
-    def g0_prime(self, x) -> np.ndarray | float:
+    def g0_prime(self, x: float | np.ndarray) -> np.ndarray | float:
         """Evaluate ``G0'(x) = Σ k p_k x^{k-1}``."""
         pmf = self.pmf_array()
         k = np.arange(len(pmf))
         coeffs = (k * pmf)[1:]  # coefficient of x^{k-1}
         return _poly_eval(coeffs, x)
 
-    def g0_double_prime(self, x) -> np.ndarray | float:
+    def g0_double_prime(self, x: float | np.ndarray) -> np.ndarray | float:
         """Evaluate ``G0''(x) = Σ k(k-1) p_k x^{k-2}``."""
         pmf = self.pmf_array()
         k = np.arange(len(pmf))
         coeffs = (k * (k - 1) * pmf)[2:]
         return _poly_eval(coeffs, x)
 
-    def g1(self, x) -> np.ndarray | float:
+    def g1(self, x: float | np.ndarray) -> np.ndarray | float:
         """Evaluate ``G1(x) = G0'(x) / G0'(1)`` (excess-degree GF).
 
         ``G1`` is the generating function of the number of outgoing edges of
@@ -157,7 +157,7 @@ class FanoutDistribution(ABC):
             )
         return self.g0_prime(x) / norm
 
-    def g1_prime(self, x) -> np.ndarray | float:
+    def g1_prime(self, x: float | np.ndarray) -> np.ndarray | float:
         """Evaluate ``G1'(x) = G0''(x) / G0'(1)``."""
         norm = self.g0_prime(1.0)
         if norm <= 0:
@@ -182,7 +182,7 @@ class FanoutDistribution(ABC):
         return f"{type(self).__name__}({params})"
 
 
-def _poly_eval(coeffs: np.ndarray, x) -> np.ndarray | float:
+def _poly_eval(coeffs: np.ndarray, x: float | np.ndarray) -> np.ndarray | float:
     """Evaluate ``Σ coeffs[k] x^k`` for scalar or array ``x`` (ascending order)."""
     coeffs = np.asarray(coeffs, dtype=float)
     x_arr = np.asarray(x, dtype=float)
@@ -213,7 +213,7 @@ class PoissonFanout(FanoutDistribution):
 
     name = "poisson"
 
-    def __init__(self, mean_fanout: float):
+    def __init__(self, mean_fanout: float) -> None:
         self.mean_fanout = check_positive("mean_fanout", mean_fanout)
 
     def pmf_array(self, k_max: int | None = None) -> np.ndarray:
@@ -231,31 +231,31 @@ class PoissonFanout(FanoutDistribution):
     def second_factorial_moment(self) -> float:
         return self.mean_fanout**2
 
-    def sample(self, size: int, seed=None) -> np.ndarray:
+    def sample(self, size: int, seed: SeedLike = None) -> np.ndarray:
         size = check_sample_shape("size", size)
         rng = as_generator(seed)
         return rng.poisson(self.mean_fanout, size=size).astype(np.int64)
 
     # Closed forms (Eqs. 8-9 of the paper).
-    def g0(self, x):
+    def g0(self, x: float | np.ndarray) -> np.ndarray | float:
         x_arr = np.asarray(x, dtype=float)
         result = np.exp(self.mean_fanout * (x_arr - 1.0))
         return float(result) if np.isscalar(x) or x_arr.ndim == 0 else result
 
-    def g0_prime(self, x):
+    def g0_prime(self, x: float | np.ndarray) -> np.ndarray | float:
         x_arr = np.asarray(x, dtype=float)
         result = self.mean_fanout * np.exp(self.mean_fanout * (x_arr - 1.0))
         return float(result) if np.isscalar(x) or x_arr.ndim == 0 else result
 
-    def g0_double_prime(self, x):
+    def g0_double_prime(self, x: float | np.ndarray) -> np.ndarray | float:
         x_arr = np.asarray(x, dtype=float)
         result = self.mean_fanout**2 * np.exp(self.mean_fanout * (x_arr - 1.0))
         return float(result) if np.isscalar(x) or x_arr.ndim == 0 else result
 
-    def g1(self, x):
+    def g1(self, x: float | np.ndarray) -> np.ndarray | float:
         return self.g0(x)
 
-    def g1_prime(self, x):
+    def g1_prime(self, x: float | np.ndarray) -> np.ndarray | float:
         return self.g0_prime(x)
 
     def describe(self) -> dict:
@@ -282,7 +282,7 @@ class FixedFanout(FanoutDistribution):
 
     name = "fixed"
 
-    def __init__(self, fanout: int):
+    def __init__(self, fanout: int) -> None:
         self.fanout = check_integer("fanout", fanout, minimum=0)
 
     def pmf_array(self, k_max: int | None = None) -> np.ndarray:
@@ -301,7 +301,7 @@ class FixedFanout(FanoutDistribution):
     def second_factorial_moment(self) -> float:
         return float(self.fanout * (self.fanout - 1))
 
-    def sample(self, size: int, seed=None) -> np.ndarray:
+    def sample(self, size: int, seed: SeedLike = None) -> np.ndarray:
         size = check_sample_shape("size", size)
         return np.full(size, self.fanout, dtype=np.int64)
 
@@ -321,7 +321,7 @@ class BinomialFanout(FanoutDistribution):
 
     name = "binomial"
 
-    def __init__(self, trials: int, prob: float):
+    def __init__(self, trials: int, prob: float) -> None:
         self.trials = check_integer("trials", trials, minimum=0)
         self.prob = check_probability("prob", prob)
 
@@ -337,7 +337,7 @@ class BinomialFanout(FanoutDistribution):
     def variance(self) -> float:
         return self.trials * self.prob * (1.0 - self.prob)
 
-    def sample(self, size: int, seed=None) -> np.ndarray:
+    def sample(self, size: int, seed: SeedLike = None) -> np.ndarray:
         size = check_sample_shape("size", size)
         rng = as_generator(seed)
         return rng.binomial(self.trials, self.prob, size=size).astype(np.int64)
@@ -358,7 +358,7 @@ class GeometricFanout(FanoutDistribution):
 
     name = "geometric"
 
-    def __init__(self, prob: float):
+    def __init__(self, prob: float) -> None:
         self.prob = check_probability("prob", prob, allow_zero=False)
 
     @classmethod
@@ -382,7 +382,7 @@ class GeometricFanout(FanoutDistribution):
     def variance(self) -> float:
         return (1.0 - self.prob) / self.prob**2
 
-    def sample(self, size: int, seed=None) -> np.ndarray:
+    def sample(self, size: int, seed: SeedLike = None) -> np.ndarray:
         size = check_sample_shape("size", size)
         rng = as_generator(seed)
         # numpy's geometric counts trials until first success (support >= 1);
@@ -406,7 +406,7 @@ class UniformFanout(FanoutDistribution):
 
     name = "uniform"
 
-    def __init__(self, low: int, high: int):
+    def __init__(self, low: int, high: int) -> None:
         self.low = check_integer("low", low, minimum=0)
         self.high = check_integer("high", high, minimum=self.low)
 
@@ -426,7 +426,7 @@ class UniformFanout(FanoutDistribution):
         width = self.high - self.low + 1
         return (width**2 - 1) / 12.0
 
-    def sample(self, size: int, seed=None) -> np.ndarray:
+    def sample(self, size: int, seed: SeedLike = None) -> np.ndarray:
         size = check_sample_shape("size", size)
         rng = as_generator(seed)
         return rng.integers(self.low, self.high + 1, size=size, dtype=np.int64)
@@ -448,7 +448,7 @@ class ZipfFanout(FanoutDistribution):
 
     name = "zipf"
 
-    def __init__(self, alpha: float, k_max: int):
+    def __init__(self, alpha: float, k_max: int) -> None:
         self.alpha = check_positive("alpha", alpha)
         self.k_max = check_integer("k_max", k_max, minimum=1)
         k = np.arange(1, self.k_max + 1, dtype=float)
@@ -467,7 +467,7 @@ class ZipfFanout(FanoutDistribution):
         k = np.arange(1, self.k_max + 1, dtype=float)
         return float(np.sum(k * self._pmf_tail))
 
-    def sample(self, size: int, seed=None) -> np.ndarray:
+    def sample(self, size: int, seed: SeedLike = None) -> np.ndarray:
         size = check_sample_shape("size", size)
         rng = as_generator(seed)
         return rng.choice(
@@ -490,7 +490,7 @@ class EmpiricalFanout(FanoutDistribution):
 
     name = "empirical"
 
-    def __init__(self, pmf: Sequence[float]):
+    def __init__(self, pmf: Sequence[float]) -> None:
         arr = np.asarray(pmf, dtype=float)
         if arr.ndim != 1 or arr.size == 0:
             raise ValueError("pmf must be a non-empty 1-D sequence")
@@ -524,7 +524,7 @@ class EmpiricalFanout(FanoutDistribution):
         k = np.arange(len(self._pmf))
         return float(np.sum(k * self._pmf))
 
-    def sample(self, size: int, seed=None) -> np.ndarray:
+    def sample(self, size: int, seed: SeedLike = None) -> np.ndarray:
         size = check_sample_shape("size", size)
         rng = as_generator(seed)
         return rng.choice(np.arange(len(self._pmf), dtype=np.int64), size=size, p=self._pmf)
@@ -545,7 +545,7 @@ class MixtureFanout(FanoutDistribution):
 
     name = "mixture"
 
-    def __init__(self, components: Sequence[FanoutDistribution], weights: Sequence[float]):
+    def __init__(self, components: Sequence[FanoutDistribution], weights: Sequence[float]) -> None:
         if len(components) == 0:
             raise ValueError("mixture needs at least one component")
         if len(components) != len(weights):
@@ -563,14 +563,14 @@ class MixtureFanout(FanoutDistribution):
         if k_max is None:
             k_max = max(c.support_upper() for c in self.components)
         out = np.zeros(k_max + 1)
-        for weight, comp in zip(self.weights, self.components):
+        for weight, comp in zip(self.weights, self.components, strict=True):
             out += weight * comp.pmf_array(k_max=k_max)
         return out
 
     def mean(self) -> float:
-        return float(sum(w * c.mean() for w, c in zip(self.weights, self.components)))
+        return float(sum(w * c.mean() for w, c in zip(self.weights, self.components, strict=True)))
 
-    def sample(self, size: int, seed=None) -> np.ndarray:
+    def sample(self, size: int, seed: SeedLike = None) -> np.ndarray:
         size = check_sample_shape("size", size)
         rng = as_generator(seed)
         choices = rng.choice(len(self.components), size=size, p=self.weights)

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
+import numpy.typing as npt
 from scipy import optimize
 
 from repro.core.distributions import FanoutDistribution
@@ -48,7 +49,7 @@ class GeneratingFunction:
         derivative: Callable[[np.ndarray], np.ndarray] | None = None,
         second_derivative: Callable[[np.ndarray], np.ndarray] | None = None,
         name: str = "G",
-    ):
+    ) -> None:
         if coefficients is None and func is None:
             raise ValueError("either coefficients or func must be given")
         self.name = name
@@ -59,7 +60,7 @@ class GeneratingFunction:
 
     # ---------------------------------------------------------------- API
     @classmethod
-    def from_pmf(cls, pmf, name: str = "G") -> "GeneratingFunction":
+    def from_pmf(cls, pmf: npt.ArrayLike, name: str = "G") -> "GeneratingFunction":
         """Build a generating function from an explicit PMF vector."""
         pmf = np.asarray(pmf, dtype=float)
         if pmf.ndim != 1 or pmf.size == 0:
@@ -78,27 +79,30 @@ class GeneratingFunction:
             name=name,
         )
 
-    def __call__(self, x):
+    def __call__(self, x: float | np.ndarray) -> np.ndarray | float:
         """Evaluate ``G(x)`` for scalar or array ``x``."""
         if self._func is not None:
             return self._func(x)
+        assert self._coeffs is not None  # constructor invariant: coeffs or func
         return _poly(self._coeffs, x)
 
-    def prime(self, x):
+    def prime(self, x: float | np.ndarray) -> np.ndarray | float:
         """Evaluate ``G'(x)``."""
         if self._derivative is not None:
             return self._derivative(x)
         if self._func is not None:
             return _numeric_derivative(self._func, x)
+        assert self._coeffs is not None  # constructor invariant: coeffs or func
         k = np.arange(len(self._coeffs))
         return _poly((k * self._coeffs)[1:], x)
 
-    def double_prime(self, x):
+    def double_prime(self, x: float | np.ndarray) -> np.ndarray | float:
         """Evaluate ``G''(x)``."""
         if self._second_derivative is not None:
             return self._second_derivative(x)
         if self._func is not None:
             return _numeric_derivative(self.prime, x)
+        assert self._coeffs is not None  # constructor invariant: coeffs or func
         k = np.arange(len(self._coeffs))
         return _poly((k * (k - 1) * self._coeffs)[2:], x)
 
@@ -133,7 +137,7 @@ class GeneratingFunction:
         return f"GeneratingFunction(name={self.name!r}, backing={backing})"
 
 
-def _poly(coeffs: np.ndarray, x):
+def _poly(coeffs: np.ndarray, x: float | np.ndarray) -> np.ndarray | float:
     coeffs = np.asarray(coeffs, dtype=float)
     x_arr = np.asarray(x, dtype=float)
     if coeffs.size == 0:
@@ -145,7 +149,11 @@ def _poly(coeffs: np.ndarray, x):
     return result
 
 
-def _numeric_derivative(func, x, h: float = 1e-6):
+def _numeric_derivative(
+    func: Callable[[np.ndarray], np.ndarray | float],
+    x: float | np.ndarray,
+    h: float = 1e-6,
+) -> np.ndarray | float:
     """Central-difference derivative; only used when no closed form exists."""
     x_arr = np.asarray(x, dtype=float)
     result = (np.asarray(func(x_arr + h)) - np.asarray(func(x_arr - h))) / (2.0 * h)

@@ -17,12 +17,18 @@ analytical core has no dependency on the simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.distributions import FanoutDistribution, PoissonFanout
 from repro.core.percolation import PercolationResult, percolation_analysis
 from repro.core.reliability import reliability as analytical_reliability
 from repro.core.success import min_executions, success_probability
+from repro.utils.rng import SeedLike
 from repro.utils.validation import check_integer, check_probability
+
+if TYPE_CHECKING:
+    from repro.simulation.membership import MembershipView
+    from repro.simulation.metrics import ReliabilityEstimate, SuccessCountResult
 
 __all__ = ["GossipModel"]
 
@@ -58,7 +64,7 @@ class GossipModel:
     q: float
     _analysis_cache: dict = field(default_factory=dict, repr=False)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.n = check_integer("n", self.n, minimum=2)
         if not isinstance(self.distribution, FanoutDistribution):
             raise TypeError(
@@ -114,10 +120,10 @@ class GossipModel:
         self,
         *,
         repetitions: int = 20,
-        seed=None,
-        membership=None,
+        seed: SeedLike = None,
+        membership: MembershipView | None = None,
         processes: int | None = 1,
-    ):
+    ) -> ReliabilityEstimate:
         """Estimate the reliability by Monte-Carlo simulation.
 
         Mirrors the paper's simulation protocol: each repetition runs one
@@ -144,8 +150,8 @@ class GossipModel:
         executions: int = 20,
         simulations: int = 100,
         success_threshold: float = 1.0,
-        seed=None,
-    ):
+        seed: SeedLike = None,
+    ) -> SuccessCountResult:
         """Estimate the distribution of the success count ``X`` by simulation.
 
         Mirrors the Figs. 6-7 protocol: run ``executions`` independent

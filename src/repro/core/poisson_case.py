@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 
 import numpy as np
+import numpy.typing as npt
 from scipy import optimize
 
 from repro.utils.validation import check_positive, check_probability
@@ -90,7 +91,7 @@ def poisson_reliability(mean_fanout: float, q: float, *, tol: float = 1e-12) -> 
     return float(min(max(s, 0.0), 1.0))
 
 
-def poisson_reliability_curve(mean_fanouts, q: float) -> np.ndarray:
+def poisson_reliability_curve(mean_fanouts: npt.ArrayLike, q: float) -> np.ndarray:
     """Vectorised Eq. 11: reliability for each mean fanout in ``mean_fanouts``."""
     q = check_probability("q", q)
     fanouts = np.asarray(mean_fanouts, dtype=float)

@@ -108,7 +108,7 @@ class SuccessModel:
 
     per_execution_reliability: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         check_probability("per_execution_reliability", self.per_execution_reliability)
 
     def success_probability(self, executions: int) -> float:

@@ -115,7 +115,7 @@ class ChurnResilienceConfig:
     seed: int = 20082010
     processes: int | None = 1
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         check_integer("n", self.n, minimum=2)
         if not self.qs:
             raise ValueError("qs must be non-empty")
@@ -288,7 +288,7 @@ class ChurnResilienceResult:
         for protocol in self.protocols():
             for q in self.config.qs:
                 series = self.series_for(protocol, q)
-                for lo, hi in zip(series, series[1:]):
+                for lo, hi in zip(series, series[1:], strict=False):
                     if hi.reliability > lo.reliability + 2 * tolerance:
                         problems.append(
                             f"{protocol} q={q}: reliability rises from "
@@ -342,7 +342,7 @@ class ChurnResilienceResult:
         return problems
 
 
-def _run_cell_batch(args) -> tuple:
+def _run_cell_batch(args: tuple) -> tuple:
     """Process-pool worker: one chunk of replicas through the churn-aware engine.
 
     The :class:`~repro.simulation.churn.PoissonChurnModel` is built inside
@@ -390,7 +390,7 @@ def run_churn_resilience(
                 seeds = spawn_seeds(n_chunks, next(cell_seeds))
                 work = [
                     (protocol, config.n, q, rate, config.initially_absent, seed, size)
-                    for seed, size in zip(seeds, chunk_sizes)
+                    for seed, size in zip(seeds, chunk_sizes, strict=True)
                     if size > 0
                 ]
                 chunks = parallel_map(

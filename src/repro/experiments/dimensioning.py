@@ -30,8 +30,10 @@ seed the whole grid reproduces bit-for-bit, serial or process-parallel.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Callable
 
 from repro.analysis.dimensioning import dimension_fanout
+from repro.protocols.base import Protocol
 from repro.analysis.tables import dimensioning_to_table
 from repro.experiments.protocol_comparison import protocol_zoo
 from repro.utils.parallel import parallel_map
@@ -113,7 +115,7 @@ class DimensioningConfig:
     seed: int = 20082010
     processes: int | None = 1
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         check_integer("n", self.n, minimum=2)
         for name, values in (("targets", self.targets), ("qs", self.qs), ("losses", self.losses)):
             if not values:
@@ -237,7 +239,7 @@ class DimensioningExperimentResult:
                     f"loss={p.loss}: ci_low {p.ci_low:.4f} below target"
                 )
 
-        def solved(protocol, target, q, loss):
+        def solved(protocol: str, target: float, q: float, loss: float) -> DimensioningPoint | None:
             try:
                 p = self.point(protocol, target, q, loss)
             except KeyError:
@@ -248,7 +250,7 @@ class DimensioningExperimentResult:
             for q in self.config.qs:
                 for loss in self.config.losses:
                     cells = [solved(protocol, t, q, loss) for t in sorted(self.config.targets)]
-                    pairs = zip(cells, cells[1:])
+                    pairs = zip(cells, cells[1:], strict=False)
                     for lo, hi in pairs:
                         if lo and hi and hi.fanout < lo.fanout - tolerance:
                             problems.append(
@@ -258,7 +260,7 @@ class DimensioningExperimentResult:
             for target in self.config.targets:
                 for q in self.config.qs:
                     cells = [solved(protocol, target, q, el) for el in sorted(self.config.losses)]
-                    for lo, hi in zip(cells, cells[1:]):
+                    for lo, hi in zip(cells, cells[1:], strict=False):
                         if lo and hi and hi.fanout < lo.fanout - tolerance:
                             problems.append(
                                 f"{protocol} target={target} q={q}: fanout falls from "
@@ -266,7 +268,7 @@ class DimensioningExperimentResult:
                             )
                 for loss in self.config.losses:
                     cells = [solved(protocol, target, q, loss) for q in sorted(self.config.qs)]
-                    for lo, hi in zip(cells, cells[1:]):
+                    for lo, hi in zip(cells, cells[1:], strict=False):
                         if lo and hi and hi.fanout > lo.fanout + tolerance:
                             problems.append(
                                 f"{protocol} target={target} loss={loss}: fanout rises "
@@ -286,16 +288,16 @@ class DimensioningExperimentResult:
         return problems
 
 
-def _protocol_factory(protocol_id: str):
+def _protocol_factory(protocol_id: str) -> Callable[[int, int], Protocol]:
     """Return a picklable ``(fanout, rounds) -> Protocol`` builder for one id."""
 
-    def build(fanout: int, rounds: int):
+    def build(fanout: int, rounds: int) -> Protocol:
         return dict(protocol_zoo(fanout, rounds))[protocol_id]
 
     return build
 
 
-def _solve_cell(args) -> tuple:
+def _solve_cell(args: tuple) -> tuple:
     """Process-pool worker: run the solver on one grid cell.
 
     The protocol is rebuilt inside the worker from its id (the solver needs
@@ -372,7 +374,7 @@ def run_dimensioning(config: DimensioningConfig | None = None) -> DimensioningEx
             config.max_fanout,
             seed,
         )
-        for (protocol_id, target, q, loss), seed in zip(cells, seeds)
+        for (protocol_id, target, q, loss), seed in zip(cells, seeds, strict=True)
     ]
     rows = parallel_map(_solve_cell, work, processes=config.processes, serial_threshold=1)
     points = tuple(

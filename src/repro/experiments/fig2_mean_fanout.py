@@ -74,7 +74,7 @@ class Fig2Result:
             curve = self.fanouts_by_q[q]
             if not np.all(np.diff(curve) > -1e-9):
                 problems.append(f"fanout curve for q={q} is not non-decreasing in S")
-        for q_small, q_large in zip(self.config.qs, self.config.qs[1:]):
+        for q_small, q_large in zip(self.config.qs, self.config.qs[1:], strict=False):
             if not np.all(
                 np.asarray(self.fanouts_by_q[q_small]) >= np.asarray(self.fanouts_by_q[q_large]) - 1e-9
             ):

@@ -38,7 +38,7 @@ class Fig3Config:
     reliability_max: float = 0.995
     points: int = 60
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         check_probability("required_success", self.required_success, allow_one=False)
 
 
@@ -53,7 +53,7 @@ class Fig3Result:
     def to_table(self, *, precision: int = 3) -> str:
         """Render the (S, t_min) series."""
         headers = ["reliability_S", "min_executions_t"]
-        rows = list(zip(self.reliabilities.tolist(), self.min_executions.tolist()))
+        rows = list(zip(self.reliabilities.tolist(), self.min_executions.tolist(), strict=True))
         return format_table(headers, rows, precision=precision)
 
     def check_shape(self) -> list[str]:
@@ -70,7 +70,7 @@ class Fig3Result:
         high = self.min_executions[self.reliabilities >= 0.9]
         if high.size and high.max() > 3:
             problems.append("for reliability >= 0.9 the paper expects at most ~3 executions")
-        for s, t in zip(self.reliabilities, self.min_executions):
+        for s, t in zip(self.reliabilities, self.min_executions, strict=True):
             t = int(t)
             if success_probability(float(s), t) < self.config.required_success - 1e-12:
                 problems.append(f"t={t} does not meet the requirement at S={s:.3f}")

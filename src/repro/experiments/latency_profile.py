@@ -30,6 +30,7 @@ variance compounds); and loss never improves reliability.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Callable
 
 import numpy as np
 
@@ -66,7 +67,7 @@ PAPER_REFERENCE = (
 _CHUNK_REPETITIONS = 8
 
 
-def _build_latency(spec: tuple):
+def _build_latency(spec: tuple) -> Callable[[np.random.Generator], float]:
     """Instantiate the latency sampler of one ``(kind, *params)`` column spec."""
     kind = spec[0]
     if kind == "constant":
@@ -134,7 +135,7 @@ class LatencyProfileConfig:
     seed: int = 20082013
     processes: int | None = 1
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         check_integer("n", self.n, minimum=2)
         check_probability("q", self.q)
         if not self.latencies:
@@ -278,7 +279,7 @@ class LatencyProfileResult:
             values = dict(p.delivery_percentiles)
             ordered = [values[label] for label in labels]
             finite = [v for v in ordered if np.isfinite(v)]
-            if any(hi < lo - 1e-9 for lo, hi in zip(finite, finite[1:])):
+            if any(hi < lo - 1e-9 for lo, hi in zip(finite, finite[1:], strict=False)):
                 problems.append(
                     f"{p.protocol} {p.latency} loss={p.loss_probability}: "
                     f"percentiles not ordered: {ordered}"
@@ -317,7 +318,7 @@ class LatencyProfileResult:
                     (p for p in self.points if p.protocol == protocol and p.latency == label),
                     key=lambda p: p.loss_probability,
                 )
-                for lo, hi in zip(series, series[1:]):
+                for lo, hi in zip(series, series[1:], strict=False):
                     if hi.reliability > lo.reliability + 2 * tolerance:
                         problems.append(
                             f"{protocol} {label}: reliability rises from "
@@ -327,7 +328,7 @@ class LatencyProfileResult:
         return problems
 
 
-def _run_cell(args) -> tuple:
+def _run_cell(args: tuple) -> tuple:
     """Process-pool worker: one chunk of replicas through the timed engine.
 
     The :class:`NetworkModel` crosses the process boundary whole — the
@@ -385,7 +386,7 @@ def run_latency_profile(config: LatencyProfileConfig | None = None) -> LatencyPr
                         size,
                         config.round_period,
                     )
-                    for seed, size in zip(seeds, chunk_sizes)
+                    for seed, size in zip(seeds, chunk_sizes, strict=True)
                     if size > 0
                 ]
                 chunks = parallel_map(

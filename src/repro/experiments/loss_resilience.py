@@ -102,7 +102,7 @@ class LossResilienceConfig:
     engine: str = "batch"
     processes: int | None = 1
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         check_integer("n", self.n, minimum=2)
         if not self.qs:
             raise ValueError("qs must be non-empty")
@@ -243,7 +243,7 @@ class LossResilienceResult:
         for protocol in self.protocols():
             for q in self.config.qs:
                 series = self.series_for(protocol, q)
-                for lo, hi in zip(series, series[1:]):
+                for lo, hi in zip(series, series[1:], strict=False):
                     if hi.reliability > lo.reliability + 2 * tolerance:
                         problems.append(
                             f"{protocol} q={q}: reliability rises from "
@@ -265,7 +265,7 @@ class LossResilienceResult:
         return problems
 
 
-def _run_cell_batch(args) -> tuple:
+def _run_cell_batch(args: tuple) -> tuple:
     """Process-pool worker: one chunk of replicas through the lossy batched engine.
 
     The :class:`NetworkModel` crosses the process boundary directly — the
@@ -289,7 +289,7 @@ def _run_cell_batch(args) -> tuple:
     )
 
 
-def _run_cell_scalar(args) -> tuple:
+def _run_cell_scalar(args: tuple) -> tuple:
     """Process-pool worker: one chunk of replicas through the scalar reference."""
     protocol, n, q, network, seed, repetitions = args
     rng = as_generator(seed)
@@ -322,7 +322,7 @@ def run_loss_resilience(config: LossResilienceConfig | None = None) -> LossResil
                 seeds = spawn_seeds(n_chunks, next(cell_seeds))
                 work = [
                     (protocol, config.n, q, NetworkModel(loss_probability=loss), seed, size)
-                    for seed, size in zip(seeds, chunk_sizes)
+                    for seed, size in zip(seeds, chunk_sizes, strict=True)
                     if size > 0
                 ]
                 chunks = parallel_map(

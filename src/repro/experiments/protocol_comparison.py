@@ -166,7 +166,7 @@ class ProtocolComparisonConfig:
     engine: str = "batch"
     processes: int | None = 1
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         check_integer("n", self.n, minimum=2)
         if not self.qs:
             raise ValueError("qs must be non-empty")
@@ -267,7 +267,7 @@ class ProtocolComparisonResult:
         problems: list[str] = []
         for protocol in self.protocols():
             series = self.series_for(protocol)
-            for lo, hi in zip(series, series[1:]):
+            for lo, hi in zip(series, series[1:], strict=False):
                 if hi.reliability < lo.reliability - 2 * tolerance:
                     problems.append(
                         f"{protocol}: reliability drops from {lo.reliability:.4f} "
@@ -306,7 +306,7 @@ class ProtocolComparisonResult:
         return problems
 
 
-def _run_cell_batch(args) -> tuple:
+def _run_cell_batch(args: tuple) -> tuple:
     """Process-pool worker: one chunk of replicas through the batched engine."""
     protocol, n, q, seed, repetitions = args
     result = simulate_protocol_batch(protocol, n, q, repetitions=repetitions, seed=seed)
@@ -318,7 +318,7 @@ def _run_cell_batch(args) -> tuple:
     )
 
 
-def _run_cell_scalar(args) -> tuple:
+def _run_cell_scalar(args: tuple) -> tuple:
     """Process-pool worker: one chunk of replicas through the scalar reference."""
     protocol, n, q, seed, repetitions = args
     rng = as_generator(seed)
@@ -350,7 +350,7 @@ def run_protocol_comparison(
             seeds = spawn_seeds(n_chunks, next(cell_seeds))
             work = [
                 (protocol, config.n, q, seed, size)
-                for seed, size in zip(seeds, chunk_sizes)
+                for seed, size in zip(seeds, chunk_sizes, strict=True)
                 if size > 0
             ]
             chunks = parallel_map(

@@ -143,7 +143,7 @@ class RecoveryResilienceConfig:
     seed: int = 20082011
     processes: int | None = 1
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         check_integer("n", self.n, minimum=2)
         check_probability("q", self.q)
         if not self.loss_probabilities:
@@ -223,7 +223,7 @@ def _channel_nominal_loss(channel: tuple) -> float:
     ).mean_loss_probability()
 
 
-def _build_network(channel: tuple):
+def _build_network(channel: tuple) -> NetworkModel:
     """Instantiate the network model of one channel spec (inside the worker)."""
     if channel[0] == "iid":
         return NetworkModel(loss_probability=channel[1])
@@ -424,7 +424,7 @@ class RecoveryResilienceResult:
         for protocol in self.protocols():
             for loss in self.config.loss_probabilities:
                 series = self.series_for(protocol, "iid", loss)
-                for lo, hi in zip(series, series[1:]):
+                for lo, hi in zip(series, series[1:], strict=False):
                     if hi.reliability > lo.reliability + 2 * tolerance:
                         problems.append(
                             f"{protocol} iid loss={loss:.4f}: reliability rises "
@@ -446,7 +446,7 @@ class RecoveryResilienceResult:
         return problems
 
 
-def _run_cell_batch(args) -> tuple:
+def _run_cell_batch(args: tuple) -> tuple:
     """Process-pool worker: one chunk of replicas through the batched engines.
 
     Network, churn and failure models are all built inside the worker from
@@ -530,7 +530,7 @@ def run_recovery_resilience(
                 seed,
                 size,
             )
-            for seed, size in zip(seeds, chunk_sizes)
+            for seed, size in zip(seeds, chunk_sizes, strict=True)
             if size > 0
         ]
         chunks = parallel_map(

@@ -66,7 +66,7 @@ class ReliabilityFigureConfig:
     engine: str = "batch"
     processes: int | None = 1
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         check_integer("n", self.n, minimum=2)
         check_integer("repetitions", self.repetitions, minimum=1)
         check_choice("engine", self.engine, ("batch", "scalar"))
@@ -161,7 +161,7 @@ class ReliabilityFigureResult:
             next(p.simulated for p in self.sweep.series_for_q(q) if p.mean_fanout == top_fanout)
             for q in qs_sorted
         ]
-        if any(b < a - 0.15 for a, b in zip(top_values, top_values[1:])):
+        if any(b < a - 0.15 for a, b in zip(top_values, top_values[1:], strict=False)):
             problems.append("reliability at the largest fanout is not non-decreasing in q")
         return problems
 

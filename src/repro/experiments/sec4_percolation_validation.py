@@ -81,7 +81,7 @@ class Sec4Config:
     large_n_threshold: int = 500_000
     seed: int = 20080408
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.ns or not self.qs:
             raise ValueError("ns and qs must be non-empty")
         for n in self.ns:

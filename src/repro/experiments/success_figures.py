@@ -67,7 +67,7 @@ class SuccessFigureConfig:
     seed: int = 20080156
     engine: str = "batch"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         check_integer("n", self.n, minimum=2)
         check_integer("executions", self.executions, minimum=1)
         check_integer("simulations", self.simulations, minimum=1)

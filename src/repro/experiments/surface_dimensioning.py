@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable
 
 from repro.analysis.dimensioning import (
     ParetoCandidate,
@@ -46,6 +47,9 @@ from repro.analysis.dimensioning import (
 from repro.utils.rng import spawn_seeds
 from repro.utils.tables import format_table
 from repro.utils.validation import check_integer, check_probability
+
+if TYPE_CHECKING:
+    from repro.protocols.base import Protocol
 
 __all__ = [
     "SurfaceDimensioningConfig",
@@ -117,7 +121,7 @@ class SurfaceDimensioningConfig:
     seed: int = 20082012
     processes: int | None = 1
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         check_integer("n", self.n, minimum=2)
         check_integer("repetitions", self.repetitions, minimum=2)
         check_probability("confidence", self.confidence, allow_zero=False, allow_one=False)
@@ -347,7 +351,7 @@ class SurfaceDimensioningResult:
         return problems
 
 
-def _fixed_fanout_factory(fanout: int, rounds: int):
+def _fixed_fanout_factory(fanout: int, rounds: int) -> Protocol:
     """Picklable fixed-fanout builder for the targeted-crash section."""
     from repro.experiments.protocol_comparison import protocol_zoo
 
@@ -392,7 +396,7 @@ def run_surface_dimensioning(
 
     fanout_axis = config.grid_fanouts
     points = []
-    for (target, q, loss), live_seed in zip(queries, live_seeds):
+    for (target, q, loss), live_seed in zip(queries, live_seeds, strict=True):
         served_start = time.perf_counter()
         served = dimension_from_surface(
             engine, n=config.n, q=q, target_reliability=target, loss=loss,
@@ -418,7 +422,7 @@ def run_surface_dimensioning(
         live_seconds = time.perf_counter() - live_start
 
         spacing = max(
-            (hi - lo for lo, hi in zip(fanout_axis, fanout_axis[1:])
+            (hi - lo for lo, hi in zip(fanout_axis, fanout_axis[1:], strict=False)
              if lo - 1e-9 <= live.fanout <= hi + 1e-9),
             default=fanout_axis[-1] - fanout_axis[-2] if len(fanout_axis) > 1 else 1.0,
         )
@@ -490,10 +494,10 @@ def run_surface_dimensioning(
     )
 
 
-def _pareto_factory(protocol_id: str):
+def _pareto_factory(protocol_id: str) -> Callable[[int, int], Protocol]:
     """Picklable ``(fanout, rounds) -> Protocol`` builder for one zoo id."""
 
-    def build(fanout: int, rounds: int):
+    def build(fanout: int, rounds: int) -> Protocol:
         from repro.experiments.protocol_comparison import protocol_zoo
 
         return dict(protocol_zoo(fanout, rounds))[protocol_id]

@@ -44,7 +44,7 @@ class UnionFind:
     Elements are integers ``0 .. n-1``.
     """
 
-    def __init__(self, n: int):
+    def __init__(self, n: int) -> None:
         n = check_integer("n", n, minimum=0)
         self.parent = np.arange(n, dtype=np.int64)
         self.size = np.ones(n, dtype=np.int64)

@@ -28,7 +28,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.utils.rng import as_generator
+from repro.utils.rng import SeedLike, as_generator
 from repro.utils.sampling import sample_distinct_rows
 from repro.utils.validation import check_choice, check_integer
 
@@ -45,7 +45,7 @@ __all__ = [
 def directed_configuration_edges(
     out_degrees: np.ndarray,
     *,
-    seed=None,
+    seed: SeedLike = None,
     allow_self_loops: bool = False,
     method: str = "vectorized",
 ) -> np.ndarray:
@@ -127,7 +127,7 @@ def _sample_targets(
 def configuration_model_edges(
     degrees: np.ndarray,
     *,
-    seed=None,
+    seed: SeedLike = None,
     simplify: bool = True,
     max_parity_fixes: int = 1,
 ) -> np.ndarray:

@@ -14,9 +14,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.core.distributions import FanoutDistribution
-from repro.utils.rng import as_generator
+from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_integer
 
 __all__ = ["sample_degree_sequence", "empirical_moments", "is_graphical", "DegreeMoments"]
@@ -26,7 +27,7 @@ def sample_degree_sequence(
     dist: FanoutDistribution,
     n: int,
     *,
-    seed=None,
+    seed: SeedLike = None,
     max_degree: int | None = None,
 ) -> np.ndarray:
     """Sample an i.i.d. degree sequence of length ``n`` from ``dist``.
@@ -90,7 +91,7 @@ def empirical_moments(degrees: np.ndarray) -> DegreeMoments:
     )
 
 
-def is_graphical(degrees) -> bool:
+def is_graphical(degrees: npt.ArrayLike) -> bool:
     """Return ``True`` iff ``degrees`` is realisable as a simple undirected graph.
 
     Implements the Erdős–Gallai condition.  Used by the undirected

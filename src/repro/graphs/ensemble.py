@@ -43,7 +43,7 @@ from scipy.sparse import csgraph
 from repro.core.distributions import FanoutDistribution
 from repro.graphs.configuration_model import configuration_model_edges
 from repro.graphs.degree_sequence import DegreeMoments, sample_degree_sequence
-from repro.utils.rng import as_generator
+from repro.utils.rng import SeedLike, as_generator
 from repro.utils.sampling import sample_distinct_rows_excluding
 from repro.utils.validation import check_integer, check_probability
 
@@ -183,13 +183,13 @@ class GossipGraphEnsemble:
         q: float,
         *,
         source: int = 0,
-    ):
+    ) -> None:
         self.n = check_integer("n", n, minimum=1)
         self.distribution = distribution
         self.q = check_probability("q", q)
         self.source = check_integer("source", source, minimum=0, maximum=self.n - 1)
 
-    def realise(self, repetitions: int, *, seed=None) -> GraphEnsembleResult:
+    def realise(self, repetitions: int, *, seed: SeedLike = None) -> GraphEnsembleResult:
         """Build and measure ``repetitions`` independent graph replicas."""
         repetitions = check_integer("repetitions", repetitions, minimum=1)
         rng = as_generator(seed)
@@ -345,7 +345,7 @@ def percolation_ensemble(
     q: float,
     *,
     repetitions: int = 10,
-    seed=None,
+    seed: SeedLike = None,
 ) -> PercolationEnsembleResult:
     """Measure the giant component of ``ζ(n, P)`` under site percolation, batched.
 

@@ -26,7 +26,7 @@ from repro.core.distributions import FanoutDistribution
 from repro.graphs.components import largest_component_size, reachable_from
 from repro.graphs.configuration_model import directed_configuration_edges
 from repro.graphs.degree_sequence import sample_degree_sequence
-from repro.utils.rng import as_generator
+from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_integer, check_probability
 
 __all__ = ["GossipGraph", "build_gossip_graph"]
@@ -125,7 +125,7 @@ def build_gossip_graph(
     q: float,
     *,
     source: int = 0,
-    seed=None,
+    seed: SeedLike = None,
     method: str = "vectorized",
 ) -> GossipGraph:
     """Build the gossip graph of one execution of ``Gossip(n, P, q)``.

@@ -17,7 +17,7 @@ from repro.core.distributions import FanoutDistribution
 from repro.graphs.components import component_sizes
 from repro.graphs.configuration_model import configuration_model_edges
 from repro.graphs.degree_sequence import DegreeMoments, empirical_moments, sample_degree_sequence
-from repro.utils.rng import as_generator
+from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_integer, check_probability
 
 __all__ = [
@@ -65,7 +65,7 @@ def empirical_giant_component(
     q: float,
     *,
     repetitions: int = 10,
-    seed=None,
+    seed: SeedLike = None,
 ) -> GiantComponentEstimate:
     """Estimate the giant-component fraction of ``ζ(n, P)`` under site percolation.
 

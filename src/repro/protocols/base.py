@@ -24,15 +24,25 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, TypeAlias
 
 import numpy as np
 
 from repro.simulation.failures import FailureModel, FailurePattern, UniformCrashModel
 from repro.simulation.network import NetworkModel
-from repro.utils.rng import as_generator
+from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_integer, check_probability
 
-__all__ = ["Protocol", "ProtocolResult"]
+if TYPE_CHECKING:
+    from repro.simulation.churn import ChurnModel, ChurnScheduleBatch
+    from repro.simulation.protocol_batch import BatchProtocolResult
+
+__all__ = ["DisseminateResult", "Protocol", "ProtocolResult"]
+
+#: What a scalar ``_disseminate`` hook returns: ``(delivered, messages,
+#: rounds)``, optionally extended with a trailing ``control_messages`` count
+#: by protocols that split control traffic from payload.
+DisseminateResult: TypeAlias = "tuple[np.ndarray, int, int] | tuple[np.ndarray, int, int, int]"
 
 
 @dataclass(frozen=True)
@@ -119,7 +129,7 @@ class Protocol(ABC):
         q: float,
         *,
         source: int = 0,
-        seed=None,
+        seed: SeedLike = None,
         failure_pattern: FailurePattern | None = None,
         failure_model: FailureModel | None = None,
         network: NetworkModel | None = None,
@@ -178,12 +188,12 @@ class Protocol(ABC):
         *,
         repetitions: int = 20,
         source: int = 0,
-        seed=None,
+        seed: SeedLike = None,
         failure_model: FailureModel | None = None,
         network: NetworkModel | None = None,
-        churn=None,
+        churn: ChurnModel | ChurnScheduleBatch | None = None,
         round_period: float = 1.0,
-    ):
+    ) -> BatchProtocolResult:
         """Run ``repetitions`` independent executions as one ``(R, n)`` array program.
 
         Convenience wrapper around
@@ -218,7 +228,7 @@ class Protocol(ABC):
         source: int,
         rng: np.random.Generator,
         network: NetworkModel | None = None,
-    ) -> tuple[np.ndarray, int, int]:
+    ) -> DisseminateResult:
         """Protocol-specific dissemination; returns (delivered mask, messages, rounds).
 
         ``network`` (when not ``None``) supplies the independent message-loss
@@ -229,14 +239,17 @@ class Protocol(ABC):
         messages, rounds, control_messages)``.
         """
 
-    def _disseminate_batch(
+    # The scalar-replay fallback tracks no time, so it deliberately opts out
+    # of the latency keyword: results built on it honestly report
+    # ``delivery_times=None`` (see the docstring below).
+    def _disseminate_batch(  # repro-lint: disable=RL002
         self,
         n: int,
         alive: np.ndarray,
         source: int,
         rng: np.random.Generator,
         network: NetworkModel | None = None,
-        churn=None,
+        churn: ChurnScheduleBatch | None = None,
     ) -> tuple[np.ndarray, ...]:
         """Batched dissemination hook: ``(R, n)`` alive masks in, per-replica results out.
 

@@ -13,8 +13,11 @@ import numpy as np
 
 from repro.core.distributions import FixedFanout
 from repro.protocols.base import Protocol
+from repro.simulation.churn import ChurnScheduleBatch
 from repro.simulation.gossip import simulate_gossip_batch
+from repro.simulation.latency import DeliveryTimePlane
 from repro.simulation.membership import sample_distinct
+from repro.simulation.network import NetworkModel
 from repro.utils.validation import check_integer
 
 __all__ = ["FixedFanoutGossip"]
@@ -25,10 +28,17 @@ class FixedFanoutGossip(Protocol):
 
     name = "fixed-fanout"
 
-    def __init__(self, fanout: int):
+    def __init__(self, fanout: int) -> None:
         self.fanout = check_integer("fanout", fanout, minimum=0)
 
-    def _disseminate(self, n, alive, source, rng, network=None):
+    def _disseminate(
+        self,
+        n: int,
+        alive: np.ndarray,
+        source: int,
+        rng: np.random.Generator,
+        network: NetworkModel | None = None,
+    ) -> tuple[np.ndarray, int, int]:
         received = np.zeros(n, dtype=bool)
         delivered = np.zeros(n, dtype=bool)
         received[source] = True
@@ -57,7 +67,16 @@ class FixedFanoutGossip(Protocol):
             frontier = newly_alive
         return delivered, messages, rounds
 
-    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None, latency=None):
+    def _disseminate_batch(
+        self,
+        n: int,
+        alive: np.ndarray,
+        source: int,
+        rng: np.random.Generator,
+        network: NetworkModel | None = None,
+        churn: ChurnScheduleBatch | None = None,
+        latency: DeliveryTimePlane | None = None,
+    ) -> tuple[np.ndarray, ...]:
         # The constant-fanout push process IS the paper's algorithm with a
         # degenerate distribution, so the batched gossip engine does all the
         # work; failures arrive through the pre-drawn alive masks, message

@@ -24,7 +24,10 @@ import numpy as np
 from scipy import sparse
 
 from repro.protocols.base import Protocol
+from repro.simulation.churn import ChurnScheduleBatch
+from repro.simulation.latency import DeliveryTimePlane
 from repro.simulation.membership import sample_distinct
+from repro.simulation.network import NetworkModel
 from repro.utils.sampling import sample_distinct_rows_excluding
 from repro.utils.validation import check_integer
 
@@ -36,10 +39,17 @@ class FloodingProtocol(Protocol):
 
     name = "flooding"
 
-    def __init__(self, degree: int = 4):
+    def __init__(self, degree: int = 4) -> None:
         self.degree = check_integer("degree", degree, minimum=1)
 
-    def _disseminate(self, n, alive, source, rng, network=None):
+    def _disseminate(
+        self,
+        n: int,
+        alive: np.ndarray,
+        source: int,
+        rng: np.random.Generator,
+        network: NetworkModel | None = None,
+    ) -> tuple[np.ndarray, int, int]:
         # Build the overlay: each member picks `degree` neighbours; links are
         # symmetric, so the adjacency is the union of both directions.
         neighbours: list[set[int]] = [set() for _ in range(n)]
@@ -64,7 +74,7 @@ class FloodingProtocol(Protocol):
                 messages += len(peers)
                 if network is not None:
                     keep = network.draw_loss(rng, len(peers))
-                    peers = [peer for peer, kept in zip(peers, keep) if kept]
+                    peers = [peer for peer, kept in zip(peers, keep, strict=True) if kept]
                 for peer in peers:
                     if not delivered[peer]:
                         delivered[peer] = True
@@ -73,7 +83,16 @@ class FloodingProtocol(Protocol):
             frontier = next_frontier
         return delivered, messages, rounds
 
-    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None, latency=None):
+    def _disseminate_batch(
+        self,
+        n: int,
+        alive: np.ndarray,
+        source: int,
+        rng: np.random.Generator,
+        network: NetworkModel | None = None,
+        churn: ChurnScheduleBatch | None = None,
+        latency: DeliveryTimePlane | None = None,
+    ) -> tuple[np.ndarray, ...]:
         repetitions = int(alive.shape[0])
         cells = repetitions * n
         degree = min(self.degree, n - 1)

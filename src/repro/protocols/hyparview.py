@@ -41,7 +41,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.protocols.base import Protocol
+from repro.simulation.churn import ChurnScheduleBatch
+from repro.simulation.latency import DeliveryTimePlane
 from repro.simulation.membership import sample_distinct
+from repro.simulation.network import NetworkModel
 from repro.utils.sampling import sample_distinct_rows, sample_distinct_rows_excluding
 from repro.utils.validation import check_integer
 
@@ -60,7 +63,7 @@ class HyParViewProtocol(Protocol):
         active_size: int = 5,
         passive_size: int = 30,
         shuffle_interval: int = 1,
-    ):
+    ) -> None:
         self.fanout = check_integer("fanout", fanout, minimum=1)
         self.rounds = check_integer("rounds", rounds, minimum=1)
         self.active_size = check_integer("active_size", active_size, minimum=1)
@@ -77,7 +80,14 @@ class HyParViewProtocol(Protocol):
         passive = sample_distinct(rng, n, min(self.passive_size, n - 1))
         return active, passive
 
-    def _disseminate(self, n, alive, source, rng, network=None):
+    def _disseminate(
+        self,
+        n: int,
+        alive: np.ndarray,
+        source: int,
+        rng: np.random.Generator,
+        network: NetworkModel | None = None,
+    ) -> tuple[np.ndarray, int, int]:
         active_size = min(self.active_size, n - 1)
         passive_size = min(self.passive_size, n - 1)
         fanout = min(self.fanout, active_size)
@@ -123,7 +133,16 @@ class HyParViewProtocol(Protocol):
                     messages += 1
         return has_message, messages, rounds_executed
 
-    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None, latency=None):
+    def _disseminate_batch(
+        self,
+        n: int,
+        alive: np.ndarray,
+        source: int,
+        rng: np.random.Generator,
+        network: NetworkModel | None = None,
+        churn: ChurnScheduleBatch | None = None,
+        latency: DeliveryTimePlane | None = None,
+    ) -> tuple[np.ndarray, ...]:
         repetitions = int(alive.shape[0])
         active_size = min(self.active_size, n - 1)
         passive_size = min(self.passive_size, n - 1)

@@ -38,7 +38,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.protocols.base import Protocol
+from repro.simulation.churn import ChurnScheduleBatch
+from repro.simulation.latency import DeliveryTimePlane
 from repro.simulation.membership import sample_distinct
+from repro.simulation.network import NetworkModel
 from repro.simulation.protocol_batch import sample_group_targets_batch
 from repro.utils.validation import check_integer, check_probability
 
@@ -57,7 +60,7 @@ class LazyPushProtocol(Protocol):
         eager_threshold: float = 0.5,
         ihave_fanout: int | None = None,
         retry_budget: int = 5,
-    ):
+    ) -> None:
         self.fanout = check_integer("fanout", fanout, minimum=1)
         self.rounds = check_integer("rounds", rounds, minimum=0)
         self.eager_threshold = check_probability("eager_threshold", eager_threshold)
@@ -70,7 +73,14 @@ class LazyPushProtocol(Protocol):
         #: "budget_exhausted"}), for tests and experiment harvesting.
         self.last_batch_stats: dict | None = None
 
-    def _disseminate(self, n, alive, source, rng, network=None):
+    def _disseminate(
+        self,
+        n: int,
+        alive: np.ndarray,
+        source: int,
+        rng: np.random.Generator,
+        network: NetworkModel | None = None,
+    ) -> tuple[np.ndarray, int, int, int]:
         has_message = np.zeros(n, dtype=bool)
         has_message[source] = True
         budget = np.full(n, self.retry_budget, dtype=np.int64)
@@ -138,7 +148,16 @@ class LazyPushProtocol(Protocol):
                     advertiser[target] = senders[int(rng.integers(len(senders)))]
         return has_message, messages, rounds_executed, control
 
-    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None, latency=None):
+    def _disseminate_batch(
+        self,
+        n: int,
+        alive: np.ndarray,
+        source: int,
+        rng: np.random.Generator,
+        network: NetworkModel | None = None,
+        churn: ChurnScheduleBatch | None = None,
+        latency: DeliveryTimePlane | None = None,
+    ) -> tuple[np.ndarray, ...]:
         repetitions = int(alive.shape[0])
         has_message = np.zeros((repetitions, n), dtype=bool)
         has_message[:, source] = True

@@ -21,7 +21,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.protocols.base import Protocol
+from repro.simulation.churn import ChurnScheduleBatch
+from repro.simulation.latency import DeliveryTimePlane
 from repro.simulation.membership import UniformPartialView, sample_distinct
+from repro.simulation.network import NetworkModel
 from repro.utils.sampling import sample_distinct_rows, sample_distinct_rows_excluding
 from repro.utils.validation import check_integer
 
@@ -33,12 +36,19 @@ class LpbcastProtocol(Protocol):
 
     name = "lpbcast"
 
-    def __init__(self, fanout: int = 3, rounds: int = 8, view_size: int = 30):
+    def __init__(self, fanout: int = 3, rounds: int = 8, view_size: int = 30) -> None:
         self.fanout = check_integer("fanout", fanout, minimum=1)
         self.rounds = check_integer("rounds", rounds, minimum=1)
         self.view_size = check_integer("view_size", view_size, minimum=1)
 
-    def _disseminate(self, n, alive, source, rng, network=None):
+    def _disseminate(
+        self,
+        n: int,
+        alive: np.ndarray,
+        source: int,
+        rng: np.random.Generator,
+        network: NetworkModel | None = None,
+    ) -> tuple[np.ndarray, int, int]:
         view = UniformPartialView(n, min(self.view_size, n - 1), seed=rng)
         has_message = np.zeros(n, dtype=bool)
         has_message[source] = True
@@ -68,7 +78,16 @@ class LpbcastProtocol(Protocol):
                 has_message[np.array(newly, dtype=np.int64)] = True
         return has_message, messages, rounds_executed
 
-    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None, latency=None):
+    def _disseminate_batch(
+        self,
+        n: int,
+        alive: np.ndarray,
+        source: int,
+        rng: np.random.Generator,
+        network: NetworkModel | None = None,
+        churn: ChurnScheduleBatch | None = None,
+        latency: DeliveryTimePlane | None = None,
+    ) -> tuple[np.ndarray, ...]:
         repetitions = int(alive.shape[0])
         size = min(self.view_size, n - 1)
         # Every replica gets its own fresh partial-view assignment, drawn for

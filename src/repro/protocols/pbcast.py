@@ -22,7 +22,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.protocols.base import Protocol
+from repro.simulation.churn import ChurnScheduleBatch
+from repro.simulation.latency import DeliveryTimePlane
 from repro.simulation.membership import sample_distinct
+from repro.simulation.network import NetworkModel
 from repro.simulation.protocol_batch import sample_group_targets_batch
 from repro.utils.validation import check_integer, check_probability
 
@@ -34,12 +37,19 @@ class PbcastProtocol(Protocol):
 
     name = "pbcast"
 
-    def __init__(self, fanout: int = 2, rounds: int = 5, broadcast_reach: float = 0.8):
+    def __init__(self, fanout: int = 2, rounds: int = 5, broadcast_reach: float = 0.8) -> None:
         self.fanout = check_integer("fanout", fanout, minimum=1)
         self.rounds = check_integer("rounds", rounds, minimum=0)
         self.broadcast_reach = check_probability("broadcast_reach", broadcast_reach)
 
-    def _disseminate(self, n, alive, source, rng, network=None):
+    def _disseminate(
+        self,
+        n: int,
+        alive: np.ndarray,
+        source: int,
+        rng: np.random.Generator,
+        network: NetworkModel | None = None,
+    ) -> tuple[np.ndarray, int, int, int]:
         has_message = np.zeros(n, dtype=bool)
         has_message[source] = True
         messages = 0
@@ -87,7 +97,16 @@ class PbcastProtocol(Protocol):
             has_message[np.array(newly, dtype=np.int64)] = True
         return has_message, messages, rounds_executed, control
 
-    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None, latency=None):
+    def _disseminate_batch(
+        self,
+        n: int,
+        alive: np.ndarray,
+        source: int,
+        rng: np.random.Generator,
+        network: NetworkModel | None = None,
+        churn: ChurnScheduleBatch | None = None,
+        latency: DeliveryTimePlane | None = None,
+    ) -> tuple[np.ndarray, ...]:
         repetitions = int(alive.shape[0])
         has_message = np.zeros((repetitions, n), dtype=bool)
         has_message[:, source] = True

@@ -10,8 +10,11 @@ from __future__ import annotations
 
 from repro.core.distributions import FanoutDistribution
 from repro.protocols.base import Protocol
+from repro.simulation.churn import ChurnScheduleBatch
 from repro.simulation.failures import FailurePattern
 from repro.simulation.gossip import simulate_gossip_batch, simulate_gossip_once
+from repro.simulation.latency import DeliveryTimePlane
+from repro.simulation.network import NetworkModel
 
 __all__ = ["RandomFanoutGossip"]
 
@@ -21,14 +24,21 @@ class RandomFanoutGossip(Protocol):
 
     name = "random-fanout"
 
-    def __init__(self, distribution: FanoutDistribution):
+    def __init__(self, distribution: FanoutDistribution) -> None:
         if not isinstance(distribution, FanoutDistribution):
             raise TypeError(
                 f"distribution must be a FanoutDistribution, got {type(distribution).__name__}"
             )
         self.distribution = distribution
 
-    def _disseminate(self, n, alive, source, rng, network=None):
+    def _disseminate(
+        self,
+        n: int,
+        alive: np.ndarray,
+        source: int,
+        rng: np.random.Generator,
+        network: NetworkModel | None = None,
+    ) -> tuple[np.ndarray, int, int]:
         import numpy as np
 
         pattern = FailurePattern(alive=alive, timing=np.full(n, None, dtype=object))
@@ -43,7 +53,16 @@ class RandomFanoutGossip(Protocol):
         )
         return execution.delivered, execution.messages_sent, execution.rounds
 
-    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None, latency=None):
+    def _disseminate_batch(
+        self,
+        n: int,
+        alive: np.ndarray,
+        source: int,
+        rng: np.random.Generator,
+        network: NetworkModel | None = None,
+        churn: ChurnScheduleBatch | None = None,
+        latency: DeliveryTimePlane | None = None,
+    ) -> tuple[np.ndarray, ...]:
         result = simulate_gossip_batch(
             n,
             self.distribution,

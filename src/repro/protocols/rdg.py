@@ -21,7 +21,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.protocols.base import Protocol
+from repro.simulation.churn import ChurnScheduleBatch
+from repro.simulation.latency import DeliveryTimePlane
 from repro.simulation.membership import sample_distinct
+from repro.simulation.network import NetworkModel
 from repro.simulation.protocol_batch import sample_group_targets_batch
 from repro.utils.validation import check_integer
 
@@ -33,12 +36,19 @@ class RouteDrivenGossip(Protocol):
 
     name = "rdg"
 
-    def __init__(self, fanout: int = 2, rounds: int = 6, pull_fanout: int = 1):
+    def __init__(self, fanout: int = 2, rounds: int = 6, pull_fanout: int = 1) -> None:
         self.fanout = check_integer("fanout", fanout, minimum=1)
         self.rounds = check_integer("rounds", rounds, minimum=1)
         self.pull_fanout = check_integer("pull_fanout", pull_fanout, minimum=0)
 
-    def _disseminate(self, n, alive, source, rng, network=None):
+    def _disseminate(
+        self,
+        n: int,
+        alive: np.ndarray,
+        source: int,
+        rng: np.random.Generator,
+        network: NetworkModel | None = None,
+    ) -> tuple[np.ndarray, int, int, int]:
         has_message = np.zeros(n, dtype=bool)
         has_message[source] = True
         messages = 0
@@ -84,7 +94,16 @@ class RouteDrivenGossip(Protocol):
                 break
         return has_message, messages, rounds_executed, control
 
-    def _disseminate_batch(self, n, alive, source, rng, network=None, churn=None, latency=None):
+    def _disseminate_batch(
+        self,
+        n: int,
+        alive: np.ndarray,
+        source: int,
+        rng: np.random.Generator,
+        network: NetworkModel | None = None,
+        churn: ChurnScheduleBatch | None = None,
+        latency: DeliveryTimePlane | None = None,
+    ) -> tuple[np.ndarray, ...]:
         repetitions = int(alive.shape[0])
         has_message = np.zeros((repetitions, n), dtype=bool)
         has_message[:, source] = True

@@ -40,6 +40,7 @@ import math
 from collections import OrderedDict
 from dataclasses import dataclass
 from itertools import product
+from typing import Any, Callable, Hashable
 
 from repro.serving.surface import GOSSIP_PROTOCOLS, ReliabilitySurface
 
@@ -160,7 +161,7 @@ class LRUCache:
     1
     """
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
@@ -169,7 +170,7 @@ class LRUCache:
         self.misses = 0
         self.evictions = 0
 
-    def get(self, key):
+    def get(self, key: Hashable) -> Any:
         """Return the cached value (refreshing its recency) or ``None``."""
         try:
             value = self._data[key]
@@ -180,7 +181,7 @@ class LRUCache:
         self.hits += 1
         return value
 
-    def put(self, key, value) -> None:
+    def put(self, key: Hashable, value: Any) -> None:
         """Insert a value, evicting the least recently used entry when full."""
         if key in self._data:
             self._data.move_to_end(key)
@@ -237,7 +238,7 @@ class SurfaceQueryEngine:
         Capacity of the LRU query cache (>= 1).
     """
 
-    def __init__(self, surface: ReliabilitySurface, *, cache_size: int = 4096):
+    def __init__(self, surface: ReliabilitySurface, *, cache_size: int = 4096) -> None:
         self.surface = surface
         self._cache = LRUCache(cache_size)
 
@@ -267,7 +268,9 @@ class SurfaceQueryEngine:
             return 0 if self.horizon_free else self.surface.grid.rounds[-1]
         return int(rounds)
 
-    def _locate(self, n, q, loss, fanout, rounds):
+    def _locate(
+        self, n: int, q: float, loss: float, fanout: float, rounds: int | None
+    ) -> tuple:
         grid = self.surface.grid
         rounds = self._default_rounds(rounds)
         return (
@@ -393,8 +396,8 @@ def dimension_from_surface(
     loss: float = 0.0,
     objective: str = "min_fanout",
     allow_live_fallback: bool = True,
-    live_solver=None,
-    **live_kwargs,
+    live_solver: Callable[..., Any] | None = None,
+    **live_kwargs: Any,
 ) -> ServedDimensioning:
     """Serve the inverse query: the cheapest certified ``(fanout, rounds)``.
 

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import json
 import math
+from typing import Any, TextIO
 
 from repro.serving.query import (
     SurfaceCoverageError,
@@ -56,14 +57,14 @@ from repro.serving.surface import ReliabilitySurface
 __all__ = ["handle_request", "serve_loop"]
 
 
-def _clean(value):
+def _clean(value: Any) -> Any:
     """Make one value JSON-safe (NaN/inf have no JSON spelling -> None)."""
     if isinstance(value, float) and not math.isfinite(value):
         return None
     return value
 
 
-def _served_fields(answer) -> dict:
+def _served_fields(answer: Any) -> dict:
     """Flatten a served dataclass into JSON-safe response fields."""
     return {key: _clean(value) for key, value in vars(answer).items()}
 
@@ -137,7 +138,9 @@ def handle_request(engine: SurfaceQueryEngine, request: dict) -> dict:
     return response
 
 
-def serve_loop(surface: ReliabilitySurface, stdin, stdout, *, cache_size: int = 4096) -> int:
+def serve_loop(
+    surface: ReliabilitySurface, stdin: TextIO, stdout: TextIO, *, cache_size: int = 4096
+) -> int:
     """Run the JSON-lines loop until EOF or a ``shutdown`` request.
 
     Parameters

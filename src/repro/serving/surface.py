@@ -49,12 +49,13 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Iterable, Iterator
 
 import numpy as np
 
 import repro
 from repro.analysis.dimensioning import wilson_interval
-from repro.core.distributions import PoissonFanout
+from repro.core.distributions import FanoutDistribution, PoissonFanout
 from repro.simulation.gossip import simulate_gossip_batch
 from repro.simulation.network import NetworkModel
 from repro.simulation.protocol_batch import simulate_protocol_batch
@@ -86,14 +87,14 @@ class SurfaceValidationError(ValueError):
     """A surface artifact failed strict load-time validation (refuse to serve)."""
 
 
-def _check_axis(name: str, values, *, integral: bool = False) -> tuple:
+def _check_axis(name: str, values: Iterable[float], *, integral: bool = False) -> tuple:
     """Validate one grid axis: non-empty, finite, strictly increasing."""
     values = tuple(float(v) for v in values)
     if not values:
         raise ValueError(f"{name} axis must be non-empty")
     if not all(np.isfinite(values)):
         raise ValueError(f"{name} axis must be finite, got {values}")
-    if any(b <= a for a, b in zip(values, values[1:])):
+    if any(b <= a for a, b in zip(values, values[1:], strict=False)):
         raise ValueError(f"{name} axis must be strictly increasing, got {values}")
     if integral:
         if any(v != int(v) for v in values):
@@ -138,7 +139,7 @@ class SurfaceGrid:
     fanouts: tuple
     rounds: tuple = (0,)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(self, "ns", _check_axis("ns", self.ns, integral=True))
         object.__setattr__(self, "qs", _check_axis("qs", self.qs))
         object.__setattr__(self, "losses", _check_axis("losses", self.losses))
@@ -167,7 +168,7 @@ class SurfaceGrid:
         """The five axes in array order: ``(ns, qs, losses, fanouts, rounds)``."""
         return (self.ns, self.qs, self.losses, self.fanouts, self.rounds)
 
-    def cells(self):
+    def cells(self) -> Iterator[tuple]:
         """Yield ``(index_tuple, n, q, loss, fanout, rounds)`` in C (row-major) order."""
         for index in np.ndindex(self.shape):
             i, j, k, m, r = index
@@ -243,7 +244,7 @@ class ReliabilitySurface:
     engine_version: str = field(default=repro.__version__)
     conditional_on_spread: bool = True
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         shape = self.grid.shape
         for name in ("mean", "ci_low", "ci_high", "cost"):
             array = np.asarray(getattr(self, name), dtype=float)
@@ -282,7 +283,7 @@ class ReliabilitySurface:
             "grid": self.grid.to_manifest(),
         }
 
-    def save(self, path) -> tuple:
+    def save(self, path: str | Path) -> tuple:
         """Persist as ``<path>`` (``.npz`` arrays) + ``<path stem>.manifest.json``.
 
         The manifest stores a SHA-256 checksum of the array file, so a
@@ -330,7 +331,7 @@ def _sha256(path: Path) -> str:
     return digest.hexdigest()
 
 
-def _gossip_distribution(protocol: str, fanout: float):
+def _gossip_distribution(protocol: str, fanout: float) -> FanoutDistribution:
     """Build the fanout distribution of a ``gossip-<family>`` surface cell."""
     family = protocol.removeprefix("gossip-")
     if family == "poisson":
@@ -340,7 +341,7 @@ def _gossip_distribution(protocol: str, fanout: float):
     return default_distribution_families(float(fanout))[family]
 
 
-def _build_cell(args) -> tuple:
+def _build_cell(args: tuple) -> tuple:
     """Process-pool worker: evaluate one grid cell.
 
     Returns ``(mean, ci_low, ci_high, cost)`` for the cell; only plain
@@ -450,7 +451,7 @@ def build_surface(
     work = [
         (protocol, n, q, loss, fanout, rounds, repetitions, confidence,
          conditional_on_spread, cell_seed)
-        for (_, n, q, loss, fanout, rounds), cell_seed in zip(cells, seeds)
+        for (_, n, q, loss, fanout, rounds), cell_seed in zip(cells, seeds, strict=True)
     ]
     rows = parallel_map(_build_cell, work, processes=processes, serial_threshold=1)
 
@@ -459,7 +460,7 @@ def build_surface(
     ci_low = np.empty(shape, dtype=float)
     ci_high = np.empty(shape, dtype=float)
     cost = np.empty(shape, dtype=float)
-    for (index, *_), row in zip(cells, rows):
+    for (index, *_), row in zip(cells, rows, strict=True):
         mean[index], ci_low[index], ci_high[index], cost[index] = row
     return ReliabilitySurface(
         grid=grid,
@@ -475,7 +476,7 @@ def build_surface(
     )
 
 
-def load_surface(path, *, allow_version_mismatch: bool = False) -> ReliabilitySurface:
+def load_surface(path: str | Path, *, allow_version_mismatch: bool = False) -> ReliabilitySurface:
     """Load a persisted surface with strict artifact validation.
 
     Every served answer inherits this surface's certificates, so loading is

@@ -185,7 +185,7 @@ class ChurnModel(ABC):
         return self.draw_batch(n, 1, rng, source=source).schedule(0)
 
 
-@dataclass
+@dataclass(frozen=True)
 class PoissonChurnModel(ChurnModel):
     """Independent geometric join/leave hazards (discrete-time Poisson churn).
 
@@ -217,15 +217,22 @@ class PoissonChurnModel(ChurnModel):
     join_rate: float = 0.0
     initially_absent: float = 0.0
 
-    def __post_init__(self):
-        self.leave_rate = check_probability("leave_rate", self.leave_rate, allow_one=False)
-        self.join_rate = check_probability("join_rate", self.join_rate, allow_one=False)
-        self.initially_absent = check_probability("initially_absent", self.initially_absent)
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "leave_rate", check_probability("leave_rate", self.leave_rate, allow_one=False)
+        )
+        object.__setattr__(
+            self, "join_rate", check_probability("join_rate", self.join_rate, allow_one=False)
+        )
+        object.__setattr__(
+            self, "initially_absent", check_probability("initially_absent", self.initially_absent)
+        )
 
     def is_zero(self) -> bool:
         """Return True iff this model can only produce trivial schedules."""
         return self.leave_rate == 0.0 and self.initially_absent == 0.0
 
+    # repro: zero-draw(is_zero)
     def draw_batch(
         self, n: int, repetitions: int, rng: np.random.Generator, *, source: int = 0
     ) -> ChurnScheduleBatch:
@@ -259,7 +266,7 @@ class PoissonChurnModel(ChurnModel):
         return ChurnScheduleBatch(join_round=join_round, leave_round=leave_round)
 
 
-@dataclass
+@dataclass(frozen=True)
 class DeterministicChurnModel(ChurnModel):
     """Explicit join/leave event lists, replayed identically in every replica.
 
@@ -269,12 +276,12 @@ class DeterministicChurnModel(ChurnModel):
     from their leave round onward.  The source cannot be scheduled away.
     """
 
-    joins: tuple = ()
-    leaves: tuple = ()
+    joins: tuple[tuple[int, int], ...] = ()
+    leaves: tuple[tuple[int, int], ...] = ()
 
-    def __post_init__(self):
-        self.joins = tuple((int(r), int(m)) for r, m in self.joins)
-        self.leaves = tuple((int(r), int(m)) for r, m in self.leaves)
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "joins", tuple((int(r), int(m)) for r, m in self.joins))
+        object.__setattr__(self, "leaves", tuple((int(r), int(m)) for r, m in self.leaves))
         for name, events in (("joins", self.joins), ("leaves", self.leaves)):
             for round_index, _ in events:
                 if round_index < 0:

@@ -56,7 +56,7 @@ class EventScheduler:
     ['b', 'a']
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._queue: list[Event] = []
         self._counter = itertools.count()
         self._cancelled: set[int] = set()

@@ -172,21 +172,26 @@ class FailureModel(ABC):
         return FailurePatternBatch(alive=alive, after_receive=after)
 
 
-@dataclass
+@dataclass(frozen=True)
 class UniformCrashModel(FailureModel):
     """Every member (except the source) fails independently with probability ``1 - q``.
 
     This is the paper's uniform-``q_k`` specialisation (Section 4.1): the
-    non-failure probability does not depend on the member's fanout.
+    non-failure probability does not depend on the member's fanout.  Frozen
+    (like every failure/churn/latency model, enforced by repro-lint RL003):
+    model instances cross ``utils.parallel`` pools inside pickled work tuples
+    and are shared across experiment cells, so they must stay immutable.
     """
 
     q: float
     after_receive_fraction: float = 0.5
 
-    def __post_init__(self):
-        self.q = check_probability("q", self.q)
-        self.after_receive_fraction = check_probability(
-            "after_receive_fraction", self.after_receive_fraction
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "q", check_probability("q", self.q))
+        object.__setattr__(
+            self,
+            "after_receive_fraction",
+            check_probability("after_receive_fraction", self.after_receive_fraction),
         )
 
     def draw(self, n: int, rng: np.random.Generator, *, source: int = 0) -> FailurePattern:
@@ -214,22 +219,25 @@ class UniformCrashModel(FailureModel):
         return FailurePatternBatch(alive=alive, after_receive=after)
 
 
-@dataclass
+@dataclass(frozen=True)
 class TargetedCrashModel(FailureModel):
     """Fail exactly the given members (deterministic failure injection).
 
     Useful in tests and in worst-case ablations (e.g. failing the highest
-    fanout members first to probe the uniform-failure assumption).
+    fanout members first to probe the uniform-failure assumption).  Frozen
+    so instances pickle cleanly into worker pools (repro-lint RL003).
     """
 
-    failed: tuple
+    failed: tuple[int, ...]
     #: Deduplicated failed identifiers cached at construction so every draw
     #: is one fancy-indexed mask write instead of a Python loop.
     _failed_array: np.ndarray = field(init=False, repr=False, compare=False)
 
-    def __post_init__(self):
-        self.failed = tuple(int(f) for f in self.failed)
-        self._failed_array = np.unique(np.asarray(self.failed, dtype=np.int64))
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "failed", tuple(int(f) for f in self.failed))
+        object.__setattr__(
+            self, "_failed_array", np.unique(np.asarray(self.failed, dtype=np.int64))
+        )
 
     def draw(self, n: int, rng: np.random.Generator, *, source: int = 0) -> FailurePattern:
         _check_draw_args(n, source)

@@ -47,7 +47,7 @@ from repro.simulation.membership import FullView, MembershipView
 from repro.simulation.metrics import ExecutionMetrics
 from repro.simulation.network import NetworkModel
 from repro.simulation.node import Member
-from repro.utils.rng import as_generator
+from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_integer, check_probability
 
 __all__ = [
@@ -170,7 +170,7 @@ def simulate_gossip_once(
     q: float,
     *,
     source: int = 0,
-    seed=None,
+    seed: SeedLike = None,
     membership: MembershipView | None = None,
     failure_pattern: FailurePattern | None = None,
     network: NetworkModel | None = None,
@@ -232,7 +232,7 @@ def simulate_gossip_once(
         fanouts = distribution.sample(frontier.size, seed=rng)
         target_batches = [
             view.sample_targets(int(member), int(fanout), rng)
-            for member, fanout in zip(frontier, fanouts)
+            for member, fanout in zip(frontier, fanouts, strict=True)
             if fanout > 0
         ]
         if not target_batches:
@@ -312,7 +312,7 @@ class BatchGossipResult:
     messages_dropped: np.ndarray | None = None
     delivery_times: np.ndarray | None = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.messages_dropped is None:
             object.__setattr__(
                 self, "messages_dropped", np.zeros_like(np.asarray(self.messages_sent))
@@ -404,7 +404,7 @@ def simulate_gossip_batch(
     *,
     repetitions: int = 20,
     source: int = 0,
-    seed=None,
+    seed: SeedLike = None,
     membership: MembershipView | None = None,
     alive: np.ndarray | None = None,
     network: NetworkModel | None = None,
@@ -634,7 +634,7 @@ def simulate_gossip_event_driven(
     q: float,
     *,
     source: int = 0,
-    seed=None,
+    seed: SeedLike = None,
     membership: MembershipView | None = None,
     network: NetworkModel | None = None,
     failure_pattern: FailurePattern | None = None,
@@ -667,7 +667,7 @@ def simulate_gossip_event_driven(
     scheduler = EventScheduler()
     state = {"messages_sent": 0, "max_depth": 0}
 
-    def handle_receive(sched: EventScheduler, data):
+    def handle_receive(sched: EventScheduler, data: tuple[int, int]) -> None:
         member_id, depth = data
         member = members[member_id]
         should_forward = member.on_receive(sched.now)

@@ -43,6 +43,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.simulation.network import NetworkModel
+
 __all__ = ["DeliveryTimePlane", "delivery_percentiles", "percentile_label"]
 
 
@@ -110,7 +112,7 @@ class DeliveryTimePlane:
 
     def __init__(
         self,
-        network,
+        network: NetworkModel,
         repetitions: int,
         n: int,
         *,
@@ -141,7 +143,7 @@ class DeliveryTimePlane:
         """Instant at which round ``round_index`` (0-based) sends depart."""
         return float(round_index) * self.round_period
 
-    def draw(self, rng, count: int) -> np.ndarray:
+    def draw(self, rng: np.random.Generator, count: int) -> np.ndarray:
         """Raw latency draws (booked into ``total_latency``) for extra legs."""
         return self.network.draw_latency_batch(rng, count)
 
@@ -151,11 +153,11 @@ class DeliveryTimePlane:
         self,
         round_index: int,
         cells: np.ndarray,
-        rng,
+        rng: np.random.Generator,
         *,
         channel: str = "payload",
         aux: np.ndarray | None = None,
-    ):
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
         """Launch ``cells`` in round ``round_index``; return what is due now.
 
         Returns ``(due_cells, due_times, due_aux)`` where ``due_aux`` is
@@ -227,7 +229,9 @@ class DeliveryTimePlane:
         """True while any message of any channel sits in a bucket."""
         return bool(self._pending_per_replica.any())
 
-    def drain(self, channel: str = "payload"):
+    def drain(
+        self, channel: str = "payload"
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
         """Pop everything still bucketed on ``channel``; return it raw.
 
         Returns ``(cells, times, aux)`` concatenated across all remaining

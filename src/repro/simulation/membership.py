@@ -58,9 +58,12 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
-import numpy as np
+from typing import Iterable
 
-from repro.utils.rng import as_generator
+import numpy as np
+import numpy.typing as npt
+
+from repro.utils.rng import SeedLike, as_generator
 from repro.utils.sampling import (
     sample_distinct,
     sample_distinct_rows,
@@ -77,7 +80,9 @@ __all__ = [
 ]
 
 
-def _check_batch_args(members, fanouts, n: int) -> tuple[np.ndarray, np.ndarray]:
+def _check_batch_args(
+    members: npt.ArrayLike, fanouts: npt.ArrayLike, n: int
+) -> tuple[np.ndarray, np.ndarray]:
     """Cast and validate the (members, fanouts) pair of a batched draw.
 
     Mirrors the scalar path's member validation: out-of-range identifiers
@@ -101,7 +106,7 @@ class MembershipView(ABC):
     ``None`` and every code path is bit-identical to a static view.
     """
 
-    def __init__(self, n: int):
+    def __init__(self, n: int) -> None:
         self.n = check_integer("n", n, minimum=1)
         self._present: np.ndarray | None = None
 
@@ -142,7 +147,9 @@ class MembershipView(ABC):
             self.alive_mask(round_index)[None, :], (repetitions, self.n)
         ).copy()
 
-    def apply_events(self, round_index: int, joins=(), leaves=()) -> None:
+    def apply_events(
+        self, round_index: int, joins: Iterable[int] = (), leaves: Iterable[int] = ()
+    ) -> None:
         """Apply join/leave events effective from round ``round_index`` on.
 
         ``joins`` mark members (re-)entering the group, ``leaves`` mark
@@ -205,7 +212,7 @@ class MembershipView(ABC):
         members, fanouts = _check_batch_args(members, fanouts, self.n)
         batches = [
             self.sample_targets(int(member), int(k), rng)
-            for member, k in zip(members, fanouts)
+            for member, k in zip(members, fanouts, strict=True)
         ]
         senders = np.repeat(
             np.arange(members.size, dtype=np.int64),
@@ -219,14 +226,14 @@ class MembershipView(ABC):
         """Return the number of members visible to ``member``."""
         return int(len(self.view_of(member)))
 
-    def reset(self, seed=None) -> None:
+    def reset(self, seed: SeedLike = None) -> None:
         """Re-randomise the view (no-op for deterministic views)."""
 
 
 class FullView(MembershipView):
     """Every member sees the entire group (the analytical model's assumption)."""
 
-    def __init__(self, n: int):
+    def __init__(self, n: int) -> None:
         super().__init__(n)
         self._all_members = np.arange(self.n, dtype=np.int64)
         self._all_members.setflags(write=False)
@@ -286,13 +293,13 @@ class UniformPartialView(MembershipView):
         Seed for the view assignment (views are re-drawn by :meth:`reset`).
     """
 
-    def __init__(self, n: int, view_size: int, *, seed=None):
+    def __init__(self, n: int, view_size: int, *, seed: SeedLike = None) -> None:
         super().__init__(n)
         self._view_size = check_integer("view_size", view_size, minimum=1)
         self._view_matrix = np.zeros((0, 0), dtype=np.int64)
         self.reset(seed)
 
-    def reset(self, seed=None) -> None:
+    def reset(self, seed: SeedLike = None) -> None:
         rng = as_generator(seed)
         size = min(self._view_size, self.n - 1)
         # All views share one size, so they pack into an (n, size) matrix the

@@ -121,7 +121,7 @@ def summarize_executions(
     spread_flags = np.array([e.spread for e in executions], dtype=bool)
     selected = executions
     if conditional_on_spread and spread_flags.any():
-        selected = [e for e, s in zip(executions, spread_flags) if s]
+        selected = [e for e, s in zip(executions, spread_flags, strict=True) if s]
     samples = np.array([e.reliability for e in selected], dtype=float)
     rounds = np.array([e.rounds for e in selected], dtype=float)
     messages = np.array([e.messages_sent for e in selected], dtype=float)

@@ -61,13 +61,15 @@ class ConstantLatency:
     #: degenerate laws let the latency plane skip its time-bucket machinery
     is_constant: ClassVar[bool] = True
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.value < 0:
             raise ValueError(f"latency must be >= 0, got {self.value!r}")
 
+    # repro: zero-draw
     def __call__(self, rng: np.random.Generator) -> float:
         return self.value
 
+    # repro: zero-draw
     def draw(self, rng: np.random.Generator, count: int) -> np.ndarray:
         return np.full(count, self.value)
 
@@ -83,7 +85,7 @@ class UniformLatency:
     high: float
     is_constant: ClassVar[bool] = False
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.low < 0 or self.high < self.low:
             raise ValueError(f"invalid latency range [{self.low}, {self.high}]")
 
@@ -104,7 +106,7 @@ class ExponentialLatency:
     mean_latency: float
     is_constant: ClassVar[bool] = False
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.mean_latency <= 0:
             raise ValueError(f"mean latency must be > 0, got {self.mean_latency!r}")
 
@@ -157,7 +159,7 @@ class NetworkModel:
     messages_dropped: int = 0
     total_latency: float = 0.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.loss_probability = check_probability("loss_probability", self.loss_probability)
 
     def draw_latency(self, rng: np.random.Generator) -> float:
@@ -208,6 +210,7 @@ class NetworkModel:
         deliver(delay)
         return True
 
+    # repro: zero-draw(loss_probability)
     def draw_loss(self, rng: np.random.Generator, count: int) -> np.ndarray:
         """Thin ``count`` messages at once; return the boolean keep mask.
 
@@ -234,6 +237,7 @@ class NetworkModel:
         self.draw_latency_batch(rng, int(keep.sum()))
         return keep
 
+    # repro: zero-draw(loss_probability)
     def draw_loss_batch(
         self,
         rng: np.random.Generator,
@@ -333,7 +337,7 @@ class GilbertElliottNetworkModel(NetworkModel):
     _scalar_bad: bool | None = field(default=None, init=False, repr=False, compare=False)
     _batch_bad: np.ndarray | None = field(default=None, init=False, repr=False, compare=False)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         super().__post_init__()
         self.bad_loss_probability = check_probability(
             "bad_loss_probability", self.bad_loss_probability
@@ -407,6 +411,7 @@ class GilbertElliottNetworkModel(NetworkModel):
         deliver(delay)
         return True
 
+    # repro: zero-draw(_is_iid)
     def draw_loss(self, rng: np.random.Generator, count: int) -> np.ndarray:
         if self._is_iid():
             return super().draw_loss(rng, count)
@@ -428,6 +433,7 @@ class GilbertElliottNetworkModel(NetworkModel):
         self.draw_latency_batch(rng, int(keep.sum()))
         return keep
 
+    # repro: zero-draw(_is_iid)
     def draw_loss_batch(
         self,
         rng: np.random.Generator,

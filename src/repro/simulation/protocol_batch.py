@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -49,9 +50,12 @@ from repro.simulation.failures import (
 )
 from repro.simulation.latency import DeliveryTimePlane, delivery_percentiles
 from repro.simulation.network import NetworkModel
-from repro.utils.rng import as_generator
+from repro.utils.rng import SeedLike, as_generator
 from repro.utils.sampling import sample_distinct_rows_excluding
 from repro.utils.validation import check_integer, check_probability
+
+if TYPE_CHECKING:
+    from repro.protocols.base import Protocol, ProtocolResult
 
 __all__ = [
     "BatchProtocolResult",
@@ -213,7 +217,7 @@ class BatchProtocolResult:
             )
         return delivery_percentiles(self.delivery_times, percentiles)
 
-    def result(self, replica: int):
+    def result(self, replica: int) -> ProtocolResult:
         """Return one replica as a scalar :class:`~repro.protocols.base.ProtocolResult`."""
         from repro.protocols.base import ProtocolResult
 
@@ -264,13 +268,13 @@ def sample_group_targets_batch(
 
 
 def simulate_protocol_batch(
-    protocol,
+    protocol: Protocol,
     n: int,
     q: float,
     *,
     repetitions: int = 20,
     source: int = 0,
-    seed=None,
+    seed: SeedLike = None,
     failure_model: FailureModel | None = None,
     network: NetworkModel | None = None,
     churn: ChurnModel | ChurnScheduleBatch | None = None,

@@ -35,7 +35,7 @@ from repro.simulation.gossip import (
 )
 from repro.simulation.membership import MembershipView
 from repro.simulation.metrics import SuccessCountResult, build_success_count_result
-from repro.utils.rng import as_generator
+from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_choice, check_integer, check_probability
 
 __all__ = ["repeated_executions", "simulate_success_counts"]
@@ -48,7 +48,7 @@ def repeated_executions(
     executions: int,
     *,
     source: int = 0,
-    seed=None,
+    seed: SeedLike = None,
     membership: MembershipView | None = None,
 ) -> list[GossipExecution]:
     """Run ``executions`` independent executions of the gossip algorithm.
@@ -78,7 +78,7 @@ def simulate_success_counts(
     condition_on_spread: bool = False,
     max_redraws: int = 50,
     source: int = 0,
-    seed=None,
+    seed: SeedLike = None,
     membership: MembershipView | None = None,
     engine: str = "batch",
 ) -> SuccessCountResult:

@@ -20,7 +20,7 @@ integers/floats so the pool never has to ship generator state.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -34,7 +34,7 @@ from repro.simulation.metrics import (
     summarize_executions,
 )
 from repro.utils.parallel import parallel_map
-from repro.utils.rng import as_generator, spawn_seeds
+from repro.utils.rng import SeedLike, as_generator, spawn_seeds
 from repro.utils.validation import check_choice, check_integer, check_probability
 
 __all__ = ["estimate_reliability", "reliability_sweep", "SweepResult", "SweepPoint"]
@@ -45,7 +45,9 @@ __all__ = ["estimate_reliability", "reliability_sweep", "SweepResult", "SweepPoi
 _CHUNK_REPETITIONS = 8
 
 
-def _run_replica_batch(args) -> list[tuple]:
+def _run_replica_batch(
+    args: tuple[int, FanoutDistribution, float, int, int, int],
+) -> list[tuple]:
     """Process-pool worker: run one chunk of replicas through the batched engine.
 
     Returns one ``(n_alive, n_reached_alive, reliability, rounds, messages,
@@ -70,7 +72,9 @@ def _run_replica_batch(args) -> list[tuple]:
     ]
 
 
-def _run_one_replica(args) -> tuple[int, int, float, int, int, int, bool, bool]:
+def _run_one_replica(
+    args: tuple[int, FanoutDistribution, float, int, int],
+) -> tuple[int, int, float, int, int, int, bool, bool]:
     """Process-pool worker: run one scalar execution and return flat metrics.
 
     Returns ``(n_alive, n_reached_alive, reliability, rounds, messages,
@@ -98,7 +102,7 @@ def estimate_reliability(
     *,
     repetitions: int = 20,
     source: int = 0,
-    seed=None,
+    seed: SeedLike = None,
     membership: MembershipView | None = None,
     processes: int | None = 1,
     conditional_on_spread: bool = False,
@@ -206,7 +210,7 @@ def estimate_reliability(
     seeds = spawn_seeds(n_chunks, seed)
     work = [
         (n, distribution, q, source, s, size)
-        for s, size in zip(seeds, chunk_sizes)
+        for s, size in zip(seeds, chunk_sizes, strict=True)
         if size > 0
     ]
     chunks = parallel_map(_run_replica_batch, work, processes=processes, serial_threshold=1)
@@ -286,8 +290,8 @@ def reliability_sweep(
     qs: Sequence[float],
     *,
     repetitions: int = 20,
-    distribution_factory=PoissonFanout,
-    seed=None,
+    distribution_factory: Callable[[float], FanoutDistribution] = PoissonFanout,
+    seed: SeedLike = None,
     processes: int | None = 1,
     conditional_on_spread: bool = False,
     engine: str = "batch",

@@ -9,14 +9,16 @@ independent replicas receive statistically independent streams.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Sequence, TypeAlias
 
 import numpy as np
 
-SeedLike = "int | None | np.random.SeedSequence | np.random.Generator"
+#: Anything the ``seed`` arguments accept: ``None`` (fresh entropy), an
+#: integer, a ``SeedSequence``, or an existing ``Generator``.
+SeedLike: TypeAlias = "int | None | np.random.SeedSequence | np.random.Generator"
 
 
-def as_generator(seed=None) -> np.random.Generator:
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.
 
     Parameters
@@ -40,7 +42,7 @@ def as_generator(seed=None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def seed_sequence(seed=None) -> np.random.SeedSequence:
+def seed_sequence(seed: SeedLike = None) -> np.random.SeedSequence:
     """Return a :class:`numpy.random.SeedSequence` for ``seed``.
 
     A ``Generator`` argument is not accepted here because a generator cannot
@@ -55,7 +57,7 @@ def seed_sequence(seed=None) -> np.random.SeedSequence:
     return np.random.SeedSequence(seed)
 
 
-def spawn_generators(n: int, seed=None) -> list[np.random.Generator]:
+def spawn_generators(n: int, seed: SeedLike = None) -> list[np.random.Generator]:
     """Spawn ``n`` independent generators derived from ``seed``.
 
     Used by the Monte-Carlo runner so every replica gets an independent
@@ -71,7 +73,7 @@ def spawn_generators(n: int, seed=None) -> list[np.random.Generator]:
     return [np.random.default_rng(child) for child in ss.spawn(n)]
 
 
-def spawn_seeds(n: int, seed=None) -> list[int]:
+def spawn_seeds(n: int, seed: SeedLike = None) -> list[int]:
     """Return ``n`` independent integer seeds derived from ``seed``.
 
     Integer seeds (rather than generator objects) are picklable and therefore

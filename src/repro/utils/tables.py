@@ -15,7 +15,7 @@ def format_row(values: Sequence, widths: Sequence[int], precision: int = 4) -> s
     if len(values) != len(widths):
         raise ValueError("values and widths must have the same length")
     cells = []
-    for value, width in zip(values, widths):
+    for value, width in zip(values, widths, strict=True):
         if isinstance(value, bool):
             text = str(value)
         elif isinstance(value, float):
@@ -55,5 +55,5 @@ def format_series(name: str, xs: Sequence[float], ys: Sequence[float], precision
     """Render a named (x, y) series as two aligned columns under a title."""
     if len(xs) != len(ys):
         raise ValueError("xs and ys must have the same length")
-    body = format_table(["x", name], list(zip(xs, ys)), precision=precision)
+    body = format_table(["x", name], list(zip(xs, ys, strict=True)), precision=precision)
     return body

@@ -13,7 +13,9 @@ import math
 import numbers
 
 
-def check_probability(name: str, value, *, allow_zero: bool = True, allow_one: bool = True) -> float:
+def check_probability(
+    name: str, value: object, *, allow_zero: bool = True, allow_one: bool = True
+) -> float:
     """Validate that ``value`` is a probability in [0, 1]."""
     value = check_real(name, value)
     lo_ok = value > 0.0 or (allow_zero and value == 0.0)
@@ -25,7 +27,7 @@ def check_probability(name: str, value, *, allow_zero: bool = True, allow_one: b
     return float(value)
 
 
-def check_real(name: str, value) -> float:
+def check_real(name: str, value: object) -> float:
     """Validate that ``value`` is a finite real number."""
     if isinstance(value, bool) or not isinstance(value, numbers.Real):
         raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
@@ -35,7 +37,7 @@ def check_real(name: str, value) -> float:
     return value
 
 
-def check_positive(name: str, value) -> float:
+def check_positive(name: str, value: object) -> float:
     """Validate that ``value`` is a finite real number > 0."""
     value = check_real(name, value)
     if value <= 0:
@@ -43,7 +45,7 @@ def check_positive(name: str, value) -> float:
     return value
 
 
-def check_non_negative(name: str, value) -> float:
+def check_non_negative(name: str, value: object) -> float:
     """Validate that ``value`` is a finite real number >= 0."""
     value = check_real(name, value)
     if value < 0:
@@ -51,7 +53,9 @@ def check_non_negative(name: str, value) -> float:
     return value
 
 
-def check_in_range(name: str, value, lo: float, hi: float, *, inclusive: bool = True) -> float:
+def check_in_range(
+    name: str, value: object, lo: float, hi: float, *, inclusive: bool = True
+) -> float:
     """Validate that ``value`` lies in ``[lo, hi]`` (or ``(lo, hi)``)."""
     value = check_real(name, value)
     if inclusive:
@@ -65,7 +69,9 @@ def check_in_range(name: str, value, lo: float, hi: float, *, inclusive: bool = 
     return value
 
 
-def check_integer(name: str, value, *, minimum: int | None = None, maximum: int | None = None) -> int:
+def check_integer(
+    name: str, value: object, *, minimum: int | None = None, maximum: int | None = None
+) -> int:
     """Validate that ``value`` is an integer within optional bounds."""
     if isinstance(value, bool) or not isinstance(value, numbers.Integral):
         raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
@@ -77,7 +83,7 @@ def check_integer(name: str, value, *, minimum: int | None = None, maximum: int 
     return value
 
 
-def check_node_id(name: str, value, n: int) -> int:
+def check_node_id(name: str, value: object, n: int) -> int:
     """Validate that ``value`` is a node identifier in ``[0, n)``."""
     return check_integer(name, value, minimum=0, maximum=n - 1)
 
@@ -90,7 +96,7 @@ def check_choice(name: str, value: str, options: tuple[str, ...]) -> str:
     return value
 
 
-def check_sample_shape(name: str, value) -> int | tuple[int, ...]:
+def check_sample_shape(name: str, value: object) -> int | tuple[int, ...]:
     """Validate a sampling ``size``: a non-negative int or a tuple of them.
 
     Scalar sizes return an ``int``; tuple sizes return a tuple so they can be

@@ -106,7 +106,7 @@ class TestCommonProperties:
 
     def test_cdf_is_monotone_and_bounded(self, any_distribution):
         values = [any_distribution.cdf(k) for k in range(10)]
-        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:], strict=False))
         assert all(0.0 <= v <= 1.0 + 1e-12 for v in values)
 
     def test_describe_contains_name_and_mean(self, any_distribution):
@@ -148,7 +148,7 @@ class TestPoissonFanout:
         dist = PoissonFanout(1.7)
         xs = np.array([0.0, 0.3, 1.0])
         arr = dist.g0(xs)
-        for x, v in zip(xs, arr):
+        for x, v in zip(xs, arr, strict=True):
             assert dist.g0(float(x)) == pytest.approx(v)
 
 

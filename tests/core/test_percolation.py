@@ -70,7 +70,7 @@ class TestMeanComponentSize:
     def test_grows_towards_threshold(self):
         dist = PoissonFanout(2.0)
         values = [mean_component_size(dist, q) for q in (0.1, 0.2, 0.3, 0.4, 0.45)]
-        assert all(b > a for a, b in zip(values, values[1:]))
+        assert all(b > a for a, b in zip(values, values[1:], strict=False))
 
     def test_q_zero(self):
         assert mean_component_size(PoissonFanout(3.0), 0.0) == 0.0
@@ -94,11 +94,11 @@ class TestGiantComponentSize:
     def test_monotone_in_q(self):
         dist = PoissonFanout(3.0)
         sizes = [giant_component_size(dist, q) for q in (0.4, 0.5, 0.7, 0.9, 1.0)]
-        assert all(b >= a - 1e-9 for a, b in zip(sizes, sizes[1:]))
+        assert all(b >= a - 1e-9 for a, b in zip(sizes, sizes[1:], strict=False))
 
     def test_monotone_in_mean_fanout(self):
         sizes = [giant_component_size(PoissonFanout(z), 0.8) for z in (1.5, 2.0, 3.0, 5.0, 8.0)]
-        assert all(b >= a - 1e-9 for a, b in zip(sizes, sizes[1:]))
+        assert all(b >= a - 1e-9 for a, b in zip(sizes, sizes[1:], strict=False))
 
     def test_all_nodes_normalisation(self):
         dist = PoissonFanout(4.0)

@@ -64,15 +64,15 @@ class TestPoissonReliability:
     def test_monotone_in_fanout_and_q(self):
         zs = [1.5, 2.0, 3.0, 4.0, 6.0]
         values = [poisson_reliability(z, 0.8) for z in zs]
-        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert all(b >= a for a, b in zip(values, values[1:], strict=False))
         qs = [0.3, 0.5, 0.7, 0.9, 1.0]
         values = [poisson_reliability(3.0, q) for q in qs]
-        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert all(b >= a for a, b in zip(values, values[1:], strict=False))
 
     def test_curve_matches_pointwise(self):
         zs = [0.5, 1.0, 2.0, 4.0]
         curve = poisson_reliability_curve(zs, 0.9)
-        for z, s in zip(zs, curve):
+        for z, s in zip(zs, curve, strict=True):
             assert s == pytest.approx(poisson_reliability(z, 0.9) if z > 0 else 0.0)
 
     def test_invalid_fanout(self):

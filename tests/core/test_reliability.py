@@ -81,7 +81,7 @@ class TestReliabilityModel:
         model = ReliabilityModel(PoissonFanout(3.0))
         qs = [0.3, 0.5, 0.9]
         profile = model.reliability_profile(qs)
-        for q, value in zip(qs, profile):
+        for q, value in zip(qs, profile, strict=True):
             assert value == pytest.approx(model.reliability(q))
 
     def test_analysis_record(self):

@@ -34,7 +34,7 @@ class TestSuccessProbability:
 
     def test_monotone_in_executions(self):
         values = [success_probability(0.4, t) for t in range(6)]
-        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert all(b >= a for a, b in zip(values, values[1:], strict=False))
 
     def test_invalid_arguments(self):
         with pytest.raises(ValueError):

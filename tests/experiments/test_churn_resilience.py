@@ -141,7 +141,7 @@ class TestRun:
     def test_deterministic_for_seed(self):
         a = run_churn_resilience(small_config(churn_rates=(0.05,), repetitions=6))
         b = run_churn_resilience(small_config(churn_rates=(0.05,), repetitions=6))
-        for pa, pb in zip(a.points, b.points):
+        for pa, pb in zip(a.points, b.points, strict=True):
             for field, va in vars(pa).items():
                 vb = getattr(pb, field)
                 if isinstance(va, float) and math.isnan(va):

@@ -127,7 +127,7 @@ class TestRun:
     def test_deterministic_for_seed(self):
         a = run_loss_resilience(small_config(loss_probabilities=(0.2,), repetitions=6))
         b = run_loss_resilience(small_config(loss_probabilities=(0.2,), repetitions=6))
-        for pa, pb in zip(a.points, b.points):
+        for pa, pb in zip(a.points, b.points, strict=True):
             assert pa == pb
 
     def test_network_model_crosses_the_process_pool(self):

@@ -97,7 +97,7 @@ class TestRun:
     def test_deterministic_for_seed(self):
         a = run_protocol_comparison(small_config(qs=(0.9,), repetitions=6))
         b = run_protocol_comparison(small_config(qs=(0.9,), repetitions=6))
-        for pa, pb in zip(a.points, b.points):
+        for pa, pb in zip(a.points, b.points, strict=True):
             assert pa == pb
 
     def test_scalar_engine_agrees_with_batch(self):

@@ -150,7 +150,7 @@ class TestDeterminismAndRegistry:
         )
         a = run_recovery_resilience(config)
         b = run_recovery_resilience(config)
-        for pa, pb in zip(a.points, b.points):
+        for pa, pb in zip(a.points, b.points, strict=True):
             assert pa == pb
 
     def test_parallel_matches_serial(self):
@@ -172,7 +172,7 @@ class TestDeterminismAndRegistry:
         parallel = run_recovery_resilience(
             RecoveryResilienceConfig(**kwargs, processes=2)
         )
-        for ps, pp in zip(serial.points, parallel.points):
+        for ps, pp in zip(serial.points, parallel.points, strict=True):
             assert (ps.protocol, ps.channel, ps.churn_rate, ps.failure) == (
                 pp.protocol,
                 pp.channel,

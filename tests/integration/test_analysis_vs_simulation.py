@@ -111,7 +111,7 @@ class TestCriticalPoint:
             ).mean_reliability
             for i, q in enumerate(qs)
         ]
-        crossing = next(q for q, r in zip(qs, reliabilities) if r > 0.1)
+        crossing = next(q for q, r in zip(qs, reliabilities, strict=True) if r > 0.1)
         assert crossing == pytest.approx(qc, abs=0.15)
 
 

@@ -1,0 +1,77 @@
+"""Regression tests for the RL003 runtime contract: models pickle and stay frozen.
+
+These pin the *runtime* half of the invariant repro-lint RL003 checks
+statically — latency/churn/failure models cross ``utils.parallel`` pools
+inside pickled work tuples and are shared across experiment cells, so every
+concrete model must round-trip through pickle unchanged and reject mutation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.simulation.churn import DeterministicChurnModel, PoissonChurnModel
+from repro.simulation.failures import TargetedCrashModel, UniformCrashModel
+from repro.simulation.network import ConstantLatency, ExponentialLatency, UniformLatency
+
+MODELS = [
+    UniformCrashModel(0.9),
+    UniformCrashModel(0.75, after_receive_fraction=0.25),
+    TargetedCrashModel((3, 1, 2)),
+    PoissonChurnModel(leave_rate=0.05, join_rate=0.1, initially_absent=0.2),
+    DeterministicChurnModel(joins=((1, 4),), leaves=((2, 7), (3, 8))),
+    ConstantLatency(2.0),
+    UniformLatency(0.5, 1.5),
+    ExponentialLatency(1.0),
+]
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+def test_model_pickle_round_trip(model: object) -> None:
+    clone = pickle.loads(pickle.dumps(model))
+    assert clone == model
+    assert type(clone) is type(model)
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+def test_model_is_frozen(model: object) -> None:
+    field_name = dataclasses.fields(model)[0].name  # type: ignore[arg-type]
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        setattr(model, field_name, 0.123)
+
+
+def test_failure_model_draw_identical_after_pickle() -> None:
+    model = UniformCrashModel(0.8)
+    clone = pickle.loads(pickle.dumps(model))
+    original = model.draw(50, np.random.default_rng(7), source=0)
+    replayed = clone.draw(50, np.random.default_rng(7), source=0)
+    np.testing.assert_array_equal(original.alive, replayed.alive)
+
+
+def test_targeted_model_draw_identical_after_pickle() -> None:
+    model = TargetedCrashModel((5, 9, 9, 2))
+    clone = pickle.loads(pickle.dumps(model))
+    original = model.draw(20, np.random.default_rng(3), source=0)
+    replayed = clone.draw(20, np.random.default_rng(3), source=0)
+    np.testing.assert_array_equal(original.alive, replayed.alive)
+
+
+def test_churn_model_schedule_identical_after_pickle() -> None:
+    model = PoissonChurnModel(leave_rate=0.1, join_rate=0.2, initially_absent=0.3)
+    clone = pickle.loads(pickle.dumps(model))
+    original = model.draw_batch(30, 8, np.random.default_rng(11), source=0)
+    replayed = clone.draw_batch(30, 8, np.random.default_rng(11), source=0)
+    np.testing.assert_array_equal(original.join_round, replayed.join_round)
+    np.testing.assert_array_equal(original.leave_round, replayed.leave_round)
+
+
+def test_latency_sampler_draw_identical_after_pickle() -> None:
+    sampler = ExponentialLatency(1.5)
+    clone = pickle.loads(pickle.dumps(sampler))
+    original = sampler.draw(np.random.default_rng(13), 100)
+    replayed = clone.draw(np.random.default_rng(13), 100)
+    np.testing.assert_array_equal(original, replayed)

@@ -275,7 +275,7 @@ class TestGilbertElliott:
         net.reset()
         assert net.messages_sent == 0
         second = [net.draw_loss(np.random.default_rng(77), 20) for _ in range(5)]
-        for a, b in zip(first, second):
+        for a, b in zip(first, second, strict=True):
             np.testing.assert_array_equal(a, b)
 
     def test_invalid_parameters(self):

@@ -23,7 +23,7 @@ class TestRepeatedExecutions:
     def test_reproducible(self):
         a = repeated_executions(100, PoissonFanout(2.0), 0.9, 3, seed=3)
         b = repeated_executions(100, PoissonFanout(2.0), 0.9, 3, seed=3)
-        for x, y in zip(a, b):
+        for x, y in zip(a, b, strict=True):
             np.testing.assert_array_equal(x.delivered, y.delivered)
 
 

@@ -1,0 +1,1 @@
+"""Repository tooling: static checkers run by CI (`tools.lint`, docs link check)."""

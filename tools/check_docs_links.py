@@ -8,6 +8,11 @@ relative target exists in the working tree.  External links (``http(s)://``,
 in-page anchors (``#section``) are checked against the headings of the file
 that contains them.
 
+Beyond links, the checker cross-references the "Static invariants" section
+of ``docs/ARCHITECTURE.md`` against the live ``tools.lint`` rule inventory:
+every ``RLxxx`` rule must have a documentation entry and every documented
+code must exist, so the docs cannot drift from the checker.
+
 Exit status: 0 when every link resolves, 1 otherwise (one line per broken
 link).  Run from the repository root: ``python tools/check_docs_links.py``.
 """
@@ -64,12 +69,51 @@ def check_file(path: Path, root: Path) -> list:
     return problems
 
 
+#: Bold rule entries in the "Static invariants" docs section, e.g. ``**RL001``.
+RULE_ENTRY_PATTERN = re.compile(r"\*\*(RL\d{3})\b")
+
+
+def check_static_invariants_section(root: Path) -> list:
+    """Cross-check docs/ARCHITECTURE.md's rule entries against tools.lint.
+
+    Every rule shipped by ``tools.lint.rules.ALL_RULES`` must have a
+    ``**RLxxx`` entry in the "Static invariants" section, and every
+    documented code must correspond to a shipped rule.
+    """
+    architecture = root / "docs" / "ARCHITECTURE.md"
+    if not architecture.is_file():
+        return []
+    text = architecture.read_text(encoding="utf-8")
+    problems = []
+    if "Static invariants" not in text:
+        return ["docs/ARCHITECTURE.md: missing the 'Static invariants' section"]
+    documented = set(RULE_ENTRY_PATTERN.findall(text))
+    sys.path.insert(0, str(root))
+    try:
+        from tools.lint.rules import ALL_RULES
+    finally:
+        sys.path.pop(0)
+    shipped = {rule.code for rule in ALL_RULES}
+    for code in sorted(shipped - documented):
+        problems.append(
+            f"docs/ARCHITECTURE.md: repro-lint rule {code} is shipped but has no "
+            "entry in the 'Static invariants' section"
+        )
+    for code in sorted(documented - shipped):
+        problems.append(
+            f"docs/ARCHITECTURE.md: 'Static invariants' documents {code}, which "
+            "tools.lint does not ship"
+        )
+    return problems
+
+
 def main() -> int:
     root = Path(__file__).resolve().parents[1]
     files = collect_markdown_files(root)
     problems = []
     for path in files:
         problems.extend(check_file(path, root))
+    problems.extend(check_static_invariants_section(root))
     print(f"checked {len(files)} markdown file(s)")
     if problems:
         for problem in problems:

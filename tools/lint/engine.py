@@ -1,0 +1,201 @@
+"""Core machinery of ``repro-lint``: file loading, pragmas, rule driving.
+
+The engine parses every target file exactly once into a :class:`FileContext`
+(AST + raw lines + suppression pragmas + ``# repro: zero-draw`` contract
+markers), hands each context to every rule's per-file pass, then runs each
+rule's project-level pass over the full file set (cross-file rules like the
+registry-hygiene check need to see the registry and the experiment modules
+together).  Violations landing on a line carrying a matching
+``# repro-lint: disable=RLxxx`` pragma are dropped before reporting.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "Violation",
+    "ZeroDrawMarker",
+    "iter_python_files",
+    "lint_paths",
+    "load_file_context",
+]
+
+#: ``# repro-lint: disable=RL001`` or ``disable=RL001,RL003`` (inline pragma).
+_PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)")
+
+#: ``# repro: zero-draw`` or ``# repro: zero-draw(<name>)`` contract marker.
+_ZERO_DRAW_RE = re.compile(r"#\s*repro:\s*zero-draw(?:\(([A-Za-z_][A-Za-z0-9_]*)?\))?")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: rule code, location, and a human-readable message."""
+
+    code: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        """Return the canonical one-line report, ``path:line: CODE message``."""
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+@dataclass(frozen=True)
+class ZeroDrawMarker:
+    """A ``# repro: zero-draw(<guard>)`` contract comment.
+
+    ``guard`` is the parameter/attribute name whose zero configuration must
+    gate every Generator draw in the marked function; ``None`` means the
+    function may draw **nothing** at all (e.g. a constant-latency sampler).
+    """
+
+    line: int
+    guard: str | None
+
+
+@dataclass
+class FileContext:
+    """Everything the rules need to know about one parsed source file."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    #: line number -> set of rule codes suppressed on that line
+    pragmas: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: line number of the marker comment -> parsed zero-draw contract
+    zero_draw_markers: dict[int, ZeroDrawMarker] = field(default_factory=dict)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        """Return True iff ``code`` is pragma-disabled on ``line``."""
+        return code in self.pragmas.get(line, frozenset())
+
+    def marker_for(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> ZeroDrawMarker | None:
+        """Return the zero-draw marker attached to ``node``, if any.
+
+        A marker binds to a function when its comment sits on the ``def``
+        line itself, on the line directly above the function (above any
+        decorators), or on a decorator line.
+        """
+        first = min([node.lineno] + [d.lineno for d in node.decorator_list])
+        candidates = set(range(first - 1, node.lineno + 1))
+        for line in sorted(candidates):
+            marker = self.zero_draw_markers.get(line)
+            if marker is not None:
+                return marker
+        return None
+
+
+def load_file_context(path: Path) -> FileContext:
+    """Parse one file into a :class:`FileContext` (raises ``SyntaxError``)."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    lines = source.splitlines()
+    pragmas: dict[int, frozenset[str]] = {}
+    markers: dict[int, ZeroDrawMarker] = {}
+    for lineno, text in enumerate(lines, start=1):
+        if "#" not in text:
+            continue
+        pragma = _PRAGMA_RE.search(text)
+        if pragma is not None:
+            codes = frozenset(code.strip() for code in pragma.group(1).split(","))
+            pragmas[lineno] = pragmas.get(lineno, frozenset()) | codes
+        marker = _ZERO_DRAW_RE.search(text)
+        if marker is not None:
+            markers[lineno] = ZeroDrawMarker(line=lineno, guard=marker.group(1))
+    return FileContext(
+        path=path,
+        source=source,
+        tree=tree,
+        lines=lines,
+        pragmas=pragmas,
+        zero_draw_markers=markers,
+    )
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` (files pass through as-is)."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            candidates: Iterable[Path] = [path] if path.suffix == ".py" else []
+        else:
+            candidates = sorted(path.rglob("*.py"))
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen and "__pycache__" not in candidate.parts:
+                seen.add(resolved)
+                yield candidate
+
+
+class Rule:
+    """Base class of one lint rule: code, summary, and the two check passes."""
+
+    #: rule identifier, e.g. ``"RL001"``
+    code: str = "RL000"
+    #: one-line summary printed by ``--list-rules`` and used in docs
+    summary: str = ""
+
+    def check_file(self, context: FileContext) -> Iterator[Violation]:
+        """Yield findings for one parsed file (default: none)."""
+        return iter(())
+
+    def finalize(self, contexts: Sequence[FileContext]) -> Iterator[Violation]:
+        """Yield cross-file findings after every file was parsed (default: none)."""
+        return iter(())
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    rules: Sequence[Rule] | None = None,
+    *,
+    select: Iterable[str] | None = None,
+) -> list[Violation]:
+    """Run the rules over every Python file under ``paths``.
+
+    Parameters
+    ----------
+    paths:
+        Files and/or directories to scan (directories recurse).
+    rules:
+        Rule instances to run; defaults to :data:`tools.lint.rules.ALL_RULES`.
+    select:
+        Optional iterable of rule codes to restrict the run to.
+
+    Returns
+    -------
+    list[Violation]:
+        Pragma-filtered findings, sorted by path, line, and code.
+    """
+    from tools.lint.rules import ALL_RULES
+
+    active = list(rules) if rules is not None else list(ALL_RULES)
+    if select is not None:
+        wanted = set(select)
+        unknown = wanted - {rule.code for rule in active}
+        if unknown:
+            raise ValueError(f"unknown rule codes: {sorted(unknown)}")
+        active = [rule for rule in active if rule.code in wanted]
+
+    contexts = [load_file_context(path) for path in iter_python_files(paths)]
+    violations: list[Violation] = []
+    for rule in active:
+        for context in contexts:
+            for violation in rule.check_file(context):
+                if not context.is_suppressed(violation.code, violation.line):
+                    violations.append(violation)
+        for violation in rule.finalize(contexts):
+            context_by_path = {str(c.path): c for c in contexts}
+            owner = context_by_path.get(violation.path)
+            if owner is None or not owner.is_suppressed(violation.code, violation.line):
+                violations.append(violation)
+    violations.sort(key=lambda v: (v.path, v.line, v.code))
+    return violations

@@ -1,0 +1,123 @@
+"""RL002 — protocol hook signatures accept the dispatcher's gated keywords.
+
+Runtime contract protected: ``simulate_protocol_batch`` inspects each
+protocol's ``_disseminate_batch`` signature and only threads the ``latency``
+plane through hooks that declare the keyword (legacy external subclasses keep
+working loss-free).  That gating means signature drift does not crash — it
+silently *disables a plane*: a hook that loses its ``latency=`` parameter
+still runs, just without delivery times, and the regression only surfaces as
+a wrong (or missing) number downstream.  This rule pins the full keyword
+surface at lint time instead.
+
+Checked, for every class that defines the hooks (the protocol zoo):
+
+* ``_disseminate(self, n, alive, source, rng, network=…)`` — must accept a
+  ``network`` parameter (or ``**kwargs``) so the loss plane reaches it;
+* ``_disseminate_batch(...)`` — must accept ``network``, ``churn``, **and**
+  ``latency`` (or ``**kwargs``), and every plane parameter must carry a
+  default so the hook stays callable through the legacy positional form.
+
+A hook that deliberately opts out of a plane (the abstract base's
+scalar-replay fallback tracks no time, for instance) documents that with an
+inline ``# repro-lint: disable=RL002`` on its ``def`` line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.lint.engine import FileContext, Rule, Violation
+
+__all__ = ["HookSignatureRule"]
+
+#: keyword surface the batched dispatcher gates on
+_BATCH_PLANES = ("network", "churn", "latency")
+
+
+def _signature_names(node: ast.FunctionDef) -> tuple[set[str], set[str], bool]:
+    """Return (all parameter names, names with defaults, has **kwargs)."""
+    args = node.args
+    positional = args.posonlyargs + args.args
+    names = {a.arg for a in positional} | {a.arg for a in args.kwonlyargs}
+    defaulted = {a.arg for a in positional[len(positional) - len(args.defaults) :]}
+    defaulted |= {
+        a.arg for a, d in zip(args.kwonlyargs, args.kw_defaults, strict=True) if d is not None
+    }
+    return names, defaulted, args.kwarg is not None
+
+
+class HookSignatureRule(Rule):
+    code = "RL002"
+    summary = "dissemination hooks accept the dispatcher's network/churn/latency keywords"
+
+    def check_file(self, context: FileContext) -> Iterator[Violation]:
+        path = str(context.path)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for item in node.body:
+                if not isinstance(item, ast.FunctionDef):
+                    continue
+                if item.name == "_disseminate":
+                    yield from self._check_scalar_hook(node, item, path)
+                elif item.name == "_disseminate_batch":
+                    yield from self._check_batch_hook(node, item, path)
+
+    def _check_scalar_hook(
+        self, cls: ast.ClassDef, hook: ast.FunctionDef, path: str
+    ) -> Iterator[Violation]:
+        names, defaulted, has_kwargs = _signature_names(hook)
+        if has_kwargs:
+            return
+        if "network" not in names:
+            yield Violation(
+                code=self.code,
+                path=path,
+                line=hook.lineno,
+                message=(
+                    f"{cls.name}._disseminate does not accept `network`; the loss "
+                    "plane cannot reach this protocol (add `network=None` or opt "
+                    "out with `# repro-lint: disable=RL002`)"
+                ),
+            )
+        elif "network" not in defaulted:
+            yield Violation(
+                code=self.code,
+                path=path,
+                line=hook.lineno,
+                message=(
+                    f"{cls.name}._disseminate: `network` needs a default — the "
+                    "engine omits it on loss-free runs (legacy 4-argument form)"
+                ),
+            )
+
+    def _check_batch_hook(
+        self, cls: ast.ClassDef, hook: ast.FunctionDef, path: str
+    ) -> Iterator[Violation]:
+        names, defaulted, has_kwargs = _signature_names(hook)
+        if has_kwargs:
+            return
+        for plane in _BATCH_PLANES:
+            if plane not in names:
+                yield Violation(
+                    code=self.code,
+                    path=path,
+                    line=hook.lineno,
+                    message=(
+                        f"{cls.name}._disseminate_batch does not accept `{plane}`; "
+                        "the dispatcher gates this plane on the hook signature, so "
+                        "the protocol would silently run without it (add "
+                        f"`{plane}=None` or opt out with `# repro-lint: disable=RL002`)"
+                    ),
+                )
+            elif plane not in defaulted:
+                yield Violation(
+                    code=self.code,
+                    path=path,
+                    line=hook.lineno,
+                    message=(
+                        f"{cls.name}._disseminate_batch: `{plane}` needs a default — "
+                        "the engine only passes planes that were actually requested"
+                    ),
+                )

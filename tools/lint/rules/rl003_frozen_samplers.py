@@ -1,0 +1,125 @@
+"""RL003 — latency/churn/failure models are frozen, picklable dataclasses.
+
+Runtime contract protected: model objects (latency samplers, churn models,
+failure models) ride inside the work tuples that ``utils.parallel`` pickles
+to worker processes, and experiments reuse one model instance across many
+cells.  PR 8 already paid this bill once — closure-based latency samplers
+could not cross the pool and had to be rewritten as frozen dataclasses —
+and a mutable model shared across cells is a cross-cell state leak waiting
+to happen.  Frozen + lambda-free is the cheap static proxy for "pickles
+cleanly and cannot leak state".
+
+A class is *a model* when it subclasses ``ChurnModel`` or ``FailureModel``,
+or when it implements the latency-sampler protocol (both ``__call__`` and
+``draw`` methods).  Abstract bases (``ABC`` subclasses or classes with
+``@abstractmethod`` members) are exempt.  A matched concrete class must:
+
+* be decorated ``@dataclass(frozen=True)``;
+* have no ``lambda`` field default and no ``field(default_factory=lambda…)``
+  (closures do not pickle);
+* have no field annotated as a ``Generator`` (generators are stateful stream
+  owners, never model configuration).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.lint.asthelpers import decorator_dataclass_call, dotted_name
+from tools.lint.engine import FileContext, Rule, Violation
+
+__all__ = ["FrozenSamplerRule"]
+
+_MODEL_BASES = frozenset({"ChurnModel", "FailureModel"})
+
+
+def _base_names(node: ast.ClassDef) -> set[str]:
+    names: set[str] = set()
+    for base in node.bases:
+        name = dotted_name(base)
+        if name is not None:
+            names.add(name.split(".")[-1])
+    return names
+
+
+def _is_abstract(node: ast.ClassDef, bases: set[str]) -> bool:
+    if "ABC" in bases:
+        return True
+    for item in node.body:
+        if isinstance(item, ast.FunctionDef):
+            for decorator in item.decorator_list:
+                name = dotted_name(decorator)
+                if name is not None and name.split(".")[-1] == "abstractmethod":
+                    return True
+    return False
+
+
+def _is_latency_sampler(node: ast.ClassDef) -> bool:
+    methods = {item.name for item in node.body if isinstance(item, ast.FunctionDef)}
+    return "__call__" in methods and "draw" in methods
+
+
+class FrozenSamplerRule(Rule):
+    code = "RL003"
+    summary = "latency/churn/failure models are @dataclass(frozen=True) and pool-picklable"
+
+    def check_file(self, context: FileContext) -> Iterator[Violation]:
+        path = str(context.path)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = _base_names(node)
+            is_model = bool(bases & _MODEL_BASES) or _is_latency_sampler(node)
+            if not is_model or _is_abstract(node, bases):
+                continue
+            yield from self._check_model_class(node, path)
+
+    def _check_model_class(self, node: ast.ClassDef, path: str) -> Iterator[Violation]:
+        decorator = decorator_dataclass_call(node)
+        frozen = False
+        if isinstance(decorator, ast.Call):
+            for keyword in decorator.keywords:
+                if keyword.arg == "frozen":
+                    frozen = isinstance(keyword.value, ast.Constant) and bool(keyword.value.value)
+        if decorator is None or not frozen:
+            yield Violation(
+                code=self.code,
+                path=path,
+                line=node.lineno,
+                message=(
+                    f"model class {node.name} must be @dataclass(frozen=True): models "
+                    "cross process pools and are shared across experiment cells, so "
+                    "they must pickle cleanly and stay immutable"
+                ),
+            )
+        for item in node.body:
+            if not isinstance(item, ast.AnnAssign) or not isinstance(item.target, ast.Name):
+                continue
+            field_name = item.target.id
+            annotation = ast.dump(item.annotation)
+            if "Generator" in annotation:
+                yield Violation(
+                    code=self.code,
+                    path=path,
+                    line=item.lineno,
+                    message=(
+                        f"model field {node.name}.{field_name} holds a Generator — "
+                        "generators own a random stream and must be threaded per "
+                        "call, never stored on the model"
+                    ),
+                )
+            if item.value is None:
+                continue
+            for child in ast.walk(item.value):
+                if isinstance(child, ast.Lambda):
+                    yield Violation(
+                        code=self.code,
+                        path=path,
+                        line=item.lineno,
+                        message=(
+                            f"model field {node.name}.{field_name} defaults to a lambda — "
+                            "closures do not pickle across utils.parallel pools"
+                        ),
+                    )
+                    break

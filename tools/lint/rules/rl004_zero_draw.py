@@ -1,0 +1,158 @@
+"""RL004 — zero-draw discipline for plane contract functions.
+
+Runtime contract protected: the planes (loss, churn, latency) are only
+composable because a zero-intensity configuration draws **no randomness** —
+loss p=0, churn rate 0, and constant latency ≤ T leave the caller's RNG
+stream untouched, so plane-on runs are bit-for-bit identical to plane-off
+runs at the same seed (pinned by PRs 4/6/8 across the whole protocol zoo).
+One stray unconditional ``rng.random()`` in a draw path silently shifts
+every downstream draw and the bit-identity tests fail far from the cause.
+
+A function opts into the contract with a marker comment directly above or on
+its ``def`` line::
+
+    # repro: zero-draw(loss_probability)
+    def draw_loss(self, rng, count): ...
+
+Inside a marked function, every :class:`numpy.random.Generator` drawing
+method call (``.random()``, ``.geometric()``, ...) must be *guarded* on the
+named parameter/attribute: lexically inside an ``if`` whose condition
+mentions the name, or after an early-return ``if`` on the name (the repo's
+idiomatic short-circuit shape).  The bare form ``# repro: zero-draw`` means
+the function may not touch the Generator at all (constant-latency samplers).
+
+The guard analysis is lexical, not a dataflow proof — it exists to catch the
+realistic regression (an unconditional draw slipped into a draw path), not
+to verify arbitrary control flow.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.lint.asthelpers import GENERATOR_METHODS, mentioned_names
+from tools.lint.engine import FileContext, Rule, Violation, ZeroDrawMarker
+
+__all__ = ["ZeroDrawRule"]
+
+
+def _draw_calls(node: ast.AST) -> Iterator[ast.Call]:
+    """Yield Generator drawing-method calls anywhere inside ``node``."""
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Attribute)
+            and child.func.attr in GENERATOR_METHODS
+        ):
+            yield child
+
+
+def _terminates(body: list[ast.stmt]) -> bool:
+    """True when the block unconditionally leaves the function (return/raise)."""
+    return any(isinstance(stmt, (ast.Return, ast.Raise)) for stmt in body)
+
+
+class ZeroDrawRule(Rule):
+    code = "RL004"
+    summary = "zero-draw contract functions only touch the Generator behind their guard"
+
+    def check_file(self, context: FileContext) -> Iterator[Violation]:
+        path = str(context.path)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            marker = context.marker_for(node)
+            if marker is None:
+                continue
+            yield from self._check_function(node, marker, path)
+
+    def _check_function(
+        self, node: ast.FunctionDef, marker: ZeroDrawMarker, path: str
+    ) -> Iterator[Violation]:
+        if marker.guard is None:
+            for call in _draw_calls(node):
+                yield Violation(
+                    code=self.code,
+                    path=path,
+                    line=call.lineno,
+                    message=(
+                        f"{node.name} is marked `# repro: zero-draw` but calls "
+                        f"Generator.{call.func.attr}(); this function must consume "
+                        "no randomness at all"
+                    ),
+                )
+            return
+        yield from self._scan_block(
+            node.body, guarded=False, marker=marker, name=node.name, path=path
+        )
+
+    def _scan_block(
+        self,
+        statements: list[ast.stmt],
+        *,
+        guarded: bool,
+        marker: ZeroDrawMarker,
+        name: str,
+        path: str,
+    ) -> Iterator[Violation]:
+        guard = marker.guard
+        for statement in statements:
+            if isinstance(statement, ast.If):
+                decides = guard in mentioned_names(statement.test)
+                if not (guarded or decides):
+                    yield from self._report(statement.test, marker, name, path)
+                branch_guarded = guarded or decides
+                yield from self._scan_block(
+                    statement.body, guarded=branch_guarded, marker=marker, name=name, path=path
+                )
+                yield from self._scan_block(
+                    statement.orelse, guarded=branch_guarded, marker=marker, name=name, path=path
+                )
+                # Early-return guard: everything after `if <guard-ish>: return/raise`
+                # runs only when the guard decision fell the other way.
+                if decides and _terminates(statement.body):
+                    guarded = True
+            elif isinstance(statement, (ast.For, ast.While, ast.With)):
+                header: ast.expr | None = None
+                if isinstance(statement, ast.For):
+                    header = statement.iter
+                elif isinstance(statement, ast.While):
+                    header = statement.test
+                if header is not None and not guarded:
+                    yield from self._report(header, marker, name, path)
+                yield from self._scan_block(
+                    statement.body, guarded=guarded, marker=marker, name=name, path=path
+                )
+                orelse = getattr(statement, "orelse", [])
+                yield from self._scan_block(
+                    orelse, guarded=guarded, marker=marker, name=name, path=path
+                )
+            elif isinstance(statement, ast.Try):
+                for block in (statement.body, statement.orelse, statement.finalbody):
+                    yield from self._scan_block(
+                        block, guarded=guarded, marker=marker, name=name, path=path
+                    )
+                for handler in statement.handlers:
+                    yield from self._scan_block(
+                        handler.body, guarded=guarded, marker=marker, name=name, path=path
+                    )
+            else:
+                if not guarded:
+                    yield from self._report(statement, marker, name, path)
+
+    def _report(
+        self, node: ast.AST, marker: ZeroDrawMarker, name: str, path: str
+    ) -> Iterator[Violation]:
+        for call in _draw_calls(node):
+            yield Violation(
+                code=self.code,
+                path=path,
+                line=call.lineno,
+                message=(
+                    f"{name} is marked `# repro: zero-draw({marker.guard})` but calls "
+                    f"Generator.{call.func.attr}() outside a guard on "
+                    f"`{marker.guard}` — a zero-{marker.guard} configuration would "
+                    "consume randomness and break bit-identity with the plane-off path"
+                ),
+            )

@@ -1,0 +1,215 @@
+"""RL006 — experiment-registry hygiene.
+
+Runtime contract protected: the registry
+(``src/repro/experiments/registry.py``) is the single enumeration surface
+behind the CLI, the CI smoke runs, and the docs — an experiment module that
+forgets to register is silently unreachable from ``repro run``, and one
+registered twice runs twice in sweeps.  The companion ``with_scale``
+contract (PR 5) is budget safety: CLI ``--scale`` may only *shrink* a
+configuration, because scaled-down smoke runs reuse the full-scale
+statistical shape checks and a widened replica budget would silently turn a
+30-second CI smoke into a full-scale run (or weaken a certified answer).
+
+Checks:
+
+* every *experiment module* (a module under ``experiments/`` defining both a
+  top-level ``PAPER_REFERENCE`` and a ``run_*`` function) is referenced by
+  exactly one ``ExperimentSpec(runner=<module>.<fn>)`` entry in the registry
+  — zero means unreachable, two means double-run;
+* every ``with_scale`` method validates or clamps its ``factor`` against 1
+  and only shrinks: each keyword passed to ``replace(...)`` must reference
+  ``factor``, must not divide by it, and must not scale a ``self`` attribute
+  by a numeric literal greater than 1.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import Counter
+from pathlib import PurePath
+from typing import Iterator, Sequence
+
+from tools.lint.asthelpers import dotted_name, mentioned_names
+from tools.lint.engine import FileContext, Rule, Violation
+
+__all__ = ["RegistryHygieneRule"]
+
+
+def _is_experiment_module(context: FileContext) -> bool:
+    if "experiments" not in PurePath(context.path).parts:
+        return False
+    has_reference = False
+    has_runner = False
+    for node in context.tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "PAPER_REFERENCE":
+                    has_reference = True
+        elif isinstance(node, ast.FunctionDef) and node.name.startswith("run_"):
+            has_runner = True
+    return has_reference and has_runner
+
+
+def _registered_runner_modules(context: FileContext) -> Counter[str]:
+    """Count, per module name, the ``ExperimentSpec(runner=<module>.<fn>)`` entries."""
+    counts: Counter[str] = Counter()
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func_name = dotted_name(node.func)
+        if func_name is None or func_name.split(".")[-1] != "ExperimentSpec":
+            continue
+        for keyword in node.keywords:
+            if keyword.arg == "runner":
+                runner = dotted_name(keyword.value)
+                if runner is not None and "." in runner:
+                    counts[runner.split(".")[0]] += 1
+    return counts
+
+
+class RegistryHygieneRule(Rule):
+    code = "RL006"
+    summary = "experiment modules register exactly once; with_scale never widens budgets"
+
+    def check_file(self, context: FileContext) -> Iterator[Violation]:
+        path = str(context.path)
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.FunctionDef) and node.name == "with_scale":
+                yield from self._check_with_scale(node, path)
+
+    def finalize(self, contexts: Sequence[FileContext]) -> Iterator[Violation]:
+        registry = None
+        experiment_modules: dict[str, FileContext] = {}
+        for context in contexts:
+            if PurePath(context.path).name == "registry.py" and "experiments" in PurePath(
+                context.path
+            ).parts:
+                registry = context
+            elif _is_experiment_module(context):
+                experiment_modules[PurePath(context.path).stem] = context
+        if registry is None:
+            if experiment_modules:
+                any_context = next(iter(experiment_modules.values()))
+                yield Violation(
+                    code=self.code,
+                    path=str(any_context.path),
+                    line=1,
+                    message=(
+                        "experiment modules found but no experiments/registry.py in the "
+                        "scanned paths; the registry is the only enumeration surface"
+                    ),
+                )
+            return
+        counts = _registered_runner_modules(registry)
+        for module, context in sorted(experiment_modules.items()):
+            registered = counts.get(module, 0)
+            if registered == 0:
+                yield Violation(
+                    code=self.code,
+                    path=str(context.path),
+                    line=1,
+                    message=(
+                        f"experiment module `{module}` defines PAPER_REFERENCE and a "
+                        "run_* entry point but is not registered in "
+                        "experiments/registry.py — it is unreachable from `repro run`"
+                    ),
+                )
+            elif registered > 1:
+                yield Violation(
+                    code=self.code,
+                    path=str(registry.path),
+                    line=1,
+                    message=(
+                        f"experiment module `{module}` is registered {registered} times "
+                        "in experiments/registry.py — sweeps would run it repeatedly"
+                    ),
+                )
+
+    def _check_with_scale(self, node: ast.FunctionDef, path: str) -> Iterator[Violation]:
+        if not self._validates_factor(node):
+            yield Violation(
+                code=self.code,
+                path=path,
+                line=node.lineno,
+                message=(
+                    f"{node.name} never validates/clamps `factor` against 1 — "
+                    "CLI --scale must only be able to shrink the configuration"
+                ),
+            )
+        local_bindings: dict[str, ast.expr] = {}
+        for child in ast.walk(node):
+            if isinstance(child, ast.Assign) and child.value is not None:
+                for target in child.targets:
+                    if isinstance(target, ast.Name):
+                        local_bindings[target.id] = child.value
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            func_name = dotted_name(call.func)
+            if func_name is None or func_name.split(".")[-1] != "replace":
+                continue
+            for keyword in call.keywords:
+                if keyword.arg is None:
+                    continue
+                yield from self._check_replacement(keyword, local_bindings, path)
+
+    @staticmethod
+    def _validates_factor(node: ast.FunctionDef) -> bool:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Compare) and "factor" in mentioned_names(child):
+                comparators = [child.left, *child.comparators]
+                for comparator in comparators:
+                    if isinstance(comparator, ast.Constant) and comparator.value in (1, 1.0, 0.999):
+                        return True
+        return False
+
+    def _check_replacement(
+        self, keyword: ast.keyword, local_bindings: dict[str, ast.expr], path: str
+    ) -> Iterator[Violation]:
+        value = keyword.value
+        # A bare local name (``replace(self, ns=ns)``) is judged by the
+        # expression that computed it earlier in the function.
+        if isinstance(value, ast.Name) and value.id in local_bindings:
+            value = local_bindings[value.id]
+        names = mentioned_names(value)
+        if "factor" not in names:
+            yield Violation(
+                code=self.code,
+                path=path,
+                line=value.lineno,
+                message=(
+                    f"with_scale replaces `{keyword.arg}` with an expression that "
+                    "ignores `factor` — scaled runs must shrink every budget "
+                    "they touch"
+                ),
+            )
+            return
+        for child in ast.walk(value):
+            if not isinstance(child, ast.BinOp):
+                continue
+            if isinstance(child.op, ast.Div) and "factor" in mentioned_names(child.right):
+                yield Violation(
+                    code=self.code,
+                    path=path,
+                    line=child.lineno,
+                    message=(
+                        f"with_scale divides `{keyword.arg}` by `factor` — with "
+                        "factor <= 1 that *widens* the budget"
+                    ),
+                )
+            elif isinstance(child.op, ast.Mult):
+                for side in (child.left, child.right):
+                    if (
+                        isinstance(side, ast.Constant)
+                        and isinstance(side.value, (int, float))
+                        and side.value > 1
+                    ):
+                        yield Violation(
+                            code=self.code,
+                            path=path,
+                            line=child.lineno,
+                            message=(
+                                f"with_scale multiplies `{keyword.arg}` by the literal "
+                                f"{side.value} — --scale may only shrink budgets"
+                            ),
+                        )
